@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every experiment benchmark runs its E-suite once (rounds=1 — these are
+simulation experiments, not micro-benchmarks), prints the result table,
+and archives it under ``benchmarks/results/`` so EXPERIMENTS.md can be
+rebuilt from the exact artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def sweep() -> SweepConfig:
+    """Full sweep settings for the experiment benchmarks."""
+    return SweepConfig(seeds=(1, 2, 3, 4, 5, 6, 7, 8))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_suite(benchmark, suite, sweep, results_dir, name: str):
+    """Run one experiment suite under the benchmark harness and archive
+    its table."""
+    table = benchmark.pedantic(suite, args=(sweep,), rounds=1, iterations=1)
+    text = table.render()
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    return table

@@ -1,0 +1,63 @@
+"""F1–F3 — trend figures rendered from the experiment sweeps.
+
+The paper contains no figures; these charts are the harness's figure-
+style artifacts, regenerated from the same sweeps as the tables:
+
+* **F1** — coalition vs single-node utility over neighborhood size (E1);
+* **F2** — protocol messages over node count (E4);
+* **F3** — coalition gain over capacity heterogeneity (E7).
+"""
+
+from benchmarks.conftest import run_suite
+from repro.experiments.figures import figure_from_table
+from repro.experiments.suites import (
+    e1_coalition_vs_single,
+    e4_scalability,
+    e7_heterogeneity,
+)
+
+
+def _archive(chart, results_dir, name: str) -> None:
+    text = chart.render()
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def test_f1_utility_vs_nodes(benchmark, sweep, results_dir):
+    table = benchmark.pedantic(
+        e1_coalition_vs_single, args=(sweep,), rounds=1, iterations=1
+    )
+    chart = figure_from_table(
+        table, "nodes", ["single utility", "coalition utility"],
+        title="F1 — utility vs neighborhood size (movie, phone requester)",
+        y_label="mean utility",
+    )
+    _archive(chart, results_dir, "F1")
+    text = chart.render()
+    assert "coalition utility" in text and "single utility" in text
+
+
+def test_f2_messages_vs_nodes(benchmark, sweep, results_dir):
+    table = benchmark.pedantic(
+        e4_scalability, args=(sweep,), rounds=1, iterations=1
+    )
+    chart = figure_from_table(
+        table, "nodes", ["messages", "proposals"],
+        title="F2 — protocol cost vs node count (agent-based)",
+        y_label="count",
+    )
+    _archive(chart, results_dir, "F2")
+    assert "messages" in chart.render()
+
+
+def test_f3_gain_vs_heterogeneity(benchmark, sweep, results_dir):
+    table = benchmark.pedantic(
+        e7_heterogeneity, args=(sweep,), rounds=1, iterations=1
+    )
+    chart = figure_from_table(
+        table, "cpu spread", ["solo utility", "coalition utility", "gain"],
+        title="F3 — coalition gain vs capacity heterogeneity",
+        y_label="utility / gain",
+    )
+    _archive(chart, results_dir, "F3")
+    assert "gain" in chart.render()

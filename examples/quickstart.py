@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: a weak phone offloads movie playback to nearby laptops.
+
+This is the paper's core scenario in ~30 lines: a phone-class device
+cannot decode a full-quality movie on its own, so it broadcasts a
+call-for-proposals to the laptops that happen to be in radio range, they
+answer with the quality levels they can serve, and a coalition forms.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import AgentSystem, Node, NodeClass, outcome_utility, workload
+from repro.core import baselines
+
+
+def main() -> None:
+    # A spontaneous neighborhood: one phone, three laptops.
+    nodes = [Node("phone", NodeClass.PHONE)] + [
+        Node(f"laptop-{i}", NodeClass.LAPTOP) for i in range(3)
+    ]
+    system = AgentSystem(nodes, seed=42, reliable_channel=True)
+
+    # The user asks for full-quality movie playback on the phone.
+    service = workload.movie_playback_service(requester="phone")
+
+    # First: what happens without cooperation?
+    solo = baselines.single_node(service, system.topology, system.providers)
+    print(f"alone:     {solo.summary()}")
+    print(f"           utility = {outcome_utility(solo):.3f}")
+
+    # Now run the paper's negotiation protocol over the simulated radio.
+    outcome = system.negotiate(service)
+    assert outcome is not None
+    print(f"coalition: {outcome.summary()}")
+    print(f"           utility = {outcome_utility(outcome):.3f}")
+
+    print("\nper-task awards:")
+    for task in service.tasks:
+        award = outcome.coalition.awards.get(task.task_id)
+        if award is None:
+            print(f"  {task.task_id}: UNALLOCATED")
+            continue
+        values = ", ".join(f"{k}={v}" for k, v in sorted(award.proposal.values.items()))
+        print(f"  {task.task_id} -> {award.node_id}  ({values})")
+
+
+if __name__ == "__main__":
+    main()

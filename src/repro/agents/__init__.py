@@ -1,0 +1,43 @@
+"""Agent layer: the Section 4.2 protocol as asynchronous message passing.
+
+:mod:`repro.core.negotiation` runs the negotiation synchronously for
+algorithm-level studies; this package runs the *same* logic as a
+contract-net-style message protocol over the simulated lossy network:
+
+* :class:`~repro.agents.organizer.OrganizerAgent` — the Negotiation
+  Organizer role ("the QoS Provider [that] starts and guides all the
+  negotiation process");
+* :class:`~repro.agents.provider.ProviderAgent` — a QoS Provider
+  answering calls-for-proposals from its Resource Managers' state;
+* :class:`~repro.agents.system.AgentSystem` — wiring: nodes, topology,
+  channel, network service, one agent per node, and mobility stepping.
+
+Message kinds: ``CFP`` (step 1 broadcast), ``PROPOSE`` (step 2 replies),
+``AWARD`` (steps 3–4), ``CONFIRM``/``REFUSE`` (award-time admission
+results, needed because headroom may change between proposal and award).
+"""
+
+from repro.agents.messages import (
+    AwardPayload,
+    CFPPayload,
+    ConfirmPayload,
+    ProposePayload,
+    RefusePayload,
+)
+from repro.agents.base import Agent
+from repro.agents.provider import ProviderAgent
+from repro.agents.organizer import NegotiationSession, OrganizerAgent
+from repro.agents.system import AgentSystem
+
+__all__ = [
+    "Agent",
+    "ProviderAgent",
+    "OrganizerAgent",
+    "NegotiationSession",
+    "AgentSystem",
+    "CFPPayload",
+    "ProposePayload",
+    "AwardPayload",
+    "ConfirmPayload",
+    "RefusePayload",
+]

@@ -1,0 +1,83 @@
+"""Protocol message payloads.
+
+Python objects travel in-process (the simulator does not serialize), but
+``size_kb`` on each message models the wire cost; the defaults reflect the
+relative sizes (a CFP carries task descriptions + preferences, proposals
+are small, awards carry the task's input data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.proposal import Proposal
+from repro.services.service import Service
+
+CFP = "CFP"
+PROPOSE = "PROPOSE"
+AWARD = "AWARD"
+CONFIRM = "CONFIRM"
+REFUSE = "REFUSE"
+
+
+@dataclass(frozen=True)
+class CFPPayload:
+    """Step 1: service description + user preferences (they live inside
+    each task's :class:`~repro.qos.request.ServiceRequest`).
+
+    Attributes:
+        session_id: Negotiation session this CFP belongs to.
+        service: The requested service (tasks carry the QoS requests).
+        reply_by: Absolute simulated deadline for proposals; later
+            arrivals are ignored by the organizer.
+        organizer: Node id proposals must be routed back to (the sender
+            of a relayed copy is the relay, not the organizer).
+        hops_remaining: Relay budget. 1 = the paper's one-hop broadcast;
+            relays decrement and re-broadcast while positive.
+    """
+
+    session_id: str
+    service: Service
+    reply_by: float
+    organizer: str = ""
+    hops_remaining: int = 1
+
+
+@dataclass(frozen=True)
+class ProposePayload:
+    """Step 2: one node's proposals (possibly for several tasks)."""
+
+    session_id: str
+    proposals: Tuple[Proposal, ...]
+
+
+@dataclass(frozen=True)
+class AwardPayload:
+    """Steps 3–4: the organizer awards one task to one node.
+
+    Carries the task id and the exact proposal being accepted; the data
+    transfer for execution is modeled by the message size.
+    """
+
+    session_id: str
+    task_id: str
+    proposal: Proposal
+
+
+@dataclass(frozen=True)
+class ConfirmPayload:
+    """Award accepted: resources reserved on the winner."""
+
+    session_id: str
+    task_id: str
+    reservation_id: int
+
+
+@dataclass(frozen=True)
+class RefusePayload:
+    """Award declined: the node can no longer serve the proposed level."""
+
+    session_id: str
+    task_id: str
+    reason: str

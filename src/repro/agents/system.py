@@ -1,0 +1,172 @@
+"""AgentSystem: one-stop wiring of a complete simulated deployment.
+
+Builds (in order): engine → nodes → mobility placement → topology →
+channel → network service → one :class:`ProviderAgent` per node, and
+offers helpers to run negotiations and advance mobility. This is the
+entry point examples and experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.agents.organizer import OrganizerAgent
+from repro.agents.provider import ProviderAgent
+from repro.core.negotiation import NegotiationOutcome
+from repro.core.selection import SelectionPolicy
+from repro.core.evaluation import WeightScheme
+from repro.errors import UnknownNodeError
+from repro.network.channel import ChannelModel
+from repro.network.messaging import NetworkService
+from repro.network.mobility import MobilityModel, StaticPlacement
+from repro.network.radio import DiscRadio, RadioModel
+from repro.network.topology import Topology
+from repro.resources.node import Node
+from repro.resources.provider import QoSProvider
+from repro.services.service import Service
+from repro.sim.engine import Engine
+
+
+class AgentSystem:
+    """A fully wired simulated ad-hoc deployment.
+
+    Args:
+        nodes: The participating devices.
+        seed: Master seed for all RNG streams.
+        radio: Radio model (default: 100 m disc).
+        mobility: Mobility model (default: static uniform placement in a
+            120×120 m area — mostly one hop under the default 100 m
+            radio, matching the paper's one-hop broadcast neighborhood).
+        reliable_channel: Disable message loss (isolates algorithmic
+            behaviour from the lossy channel).
+        proposal_window: Organizer CFP collection window (s).
+        award_timeout: Organizer award-reply timeout (s).
+        selection: Winner-selection policy for organizers.
+        weights: eq. 3 weight scheme for organizers.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        seed: int = 0,
+        radio: Optional[RadioModel] = None,
+        mobility: Optional[MobilityModel] = None,
+        reliable_channel: bool = False,
+        proposal_window: float = 0.5,
+        award_timeout: float = 0.25,
+        selection: Optional[SelectionPolicy] = None,
+        weights: WeightScheme = WeightScheme.LINEAR,
+        max_hops: int = 1,
+    ) -> None:
+        self.engine = Engine(seed=seed)
+        self.nodes: Dict[str, Node] = {n.node_id: n for n in nodes}
+        if len(self.nodes) != len(nodes):
+            raise ValueError("duplicate node ids")
+        self.radio = radio if radio is not None else DiscRadio()
+        self.mobility = (
+            mobility
+            if mobility is not None
+            else StaticPlacement(120.0, 120.0, self.engine.rng.stream("placement"))
+        )
+        self.mobility.place(list(self.nodes.values()))
+        self.topology = Topology(list(self.nodes.values()), self.radio)
+        self.channel = ChannelModel(
+            self.topology,
+            self.engine.rng.stream("channel"),
+            reliable=reliable_channel,
+        )
+        self.network = NetworkService(self.engine, self.topology, self.channel)
+        self.proposal_window = proposal_window
+        self.award_timeout = award_timeout
+        self.selection = selection
+        self.weights = weights
+        self.max_hops = max_hops
+
+        self.providers: Dict[str, QoSProvider] = {}
+        self.provider_agents: Dict[str, ProviderAgent] = {}
+        self.organizers: Dict[str, OrganizerAgent] = {}
+        for node in self.nodes.values():
+            agent = ProviderAgent(self.engine, node, self.network)
+            self.provider_agents[node.node_id] = agent
+            self.providers[node.node_id] = agent.provider
+
+    # -- organizers -----------------------------------------------------------
+
+    def organizer(self, node_id: str) -> OrganizerAgent:
+        """Get (or lazily create) the organizer role on ``node_id``.
+
+        The organizer replaces the plain provider agent's inbox (it
+        handles PROPOSE/CONFIRM/REFUSE *and* still answers CFPs of other
+        organizers through its embedded provider agent behaviour — in
+        this simplified wiring, a node acting as organizer keeps its
+        provider agent for foreign sessions by re-registering it after
+        its own sessions complete; in practice experiments use distinct
+        requester nodes).
+        """
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        if node_id not in self.organizers:
+            # Re-register inbox: organizer wraps provider behaviour.
+            provider_agent = self.provider_agents[node_id]
+            organizer = OrganizerAgent(
+                self.engine,
+                self.nodes[node_id],
+                self.network,
+                self.topology,
+                proposal_window=self.proposal_window,
+                award_timeout=self.award_timeout,
+                selection=self.selection,
+                weights=self.weights,
+                max_hops=self.max_hops,
+            )
+            # Chain: organizer handles its kinds, provider handles CFP/AWARD.
+            for kind in ("CFP", "AWARD"):
+                organizer.on(kind, provider_agent._handlers[kind])
+            self.organizers[node_id] = organizer
+        return self.organizers[node_id]
+
+    # -- running -----------------------------------------------------------
+
+    def negotiate(
+        self, service: Service, run: bool = True
+    ) -> Optional[NegotiationOutcome]:
+        """Run one negotiation end-to-end on the simulated network.
+
+        Args:
+            service: The service to allocate (requester must be a node).
+            run: When ``True`` (default) the engine runs to quiescence
+                and the outcome is returned; when ``False`` the session
+                is started and ``None`` returned (caller drives the
+                engine, e.g. to interleave mobility).
+        """
+        organizer = self.organizer(service.requester)
+        result: List[NegotiationOutcome] = []
+        organizer.request_service(service, on_complete=result.append)
+        if not run:
+            return None
+        # Step (not run-to-exhaustion) so long-lived background activity
+        # (mobility ticks) does not get fast-forwarded past the horizon.
+        while not result and self.engine.step():
+            pass
+        return result[0] if result else None
+
+    def step_mobility(self, dt: float) -> None:
+        """Advance node positions by ``dt`` and rebuild the topology."""
+        self.mobility.advance(list(self.nodes.values()), dt)
+        self.topology.rebuild()
+
+    def start_mobility_process(self, tick: float = 1.0, until: float = float("inf")) -> None:
+        """Schedule periodic mobility advancement on the engine."""
+
+        def _tick(now: float) -> None:
+            self.step_mobility(tick)
+            if now + tick <= until:
+                self.engine.schedule(tick, _tick)
+
+        self.engine.schedule(tick, _tick)
+
+    def alive_count(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.alive)
+
+    def __repr__(self) -> str:
+        return f"<AgentSystem nodes={len(self.nodes)} t={self.engine.now:.3f}>"

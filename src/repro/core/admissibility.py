@@ -1,0 +1,59 @@
+"""Admissible proposals (paper Section 6).
+
+*"A proposal is admissible if it can satisfy all the QoS dimensions
+requested by the user."* We operationalize that as four checks:
+
+1. **coverage** — the proposal offers a value for every attribute of
+   every requested dimension;
+2. **domain** — each offered value lies in its attribute's domain;
+3. **acceptability** — each offered value appears among the request's
+   acceptable values/intervals for that attribute (a value the user never
+   listed cannot "satisfy" the dimension);
+4. **dependencies** — the offered assignment respects the spec's ``Deps``.
+
+:func:`admissibility_failures` reports every violated check (for traces
+and tests); :func:`is_admissible` is the boolean gate used before eq. 2
+scoring.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.proposal import Proposal
+from repro.errors import DomainError
+from repro.qos.request import ServiceRequest
+
+
+def admissibility_failures(request: ServiceRequest, proposal: Proposal) -> List[str]:
+    """All reasons ``proposal`` fails admissibility (empty = admissible)."""
+    failures: List[str] = []
+    values = {}
+    for dp in request.dimensions:
+        for ap in dp.attributes:
+            attr_name = ap.attribute
+            if attr_name not in proposal.values:
+                failures.append(f"missing attribute {attr_name!r}")
+                continue
+            offered = proposal.values[attr_name]
+            attr = request.spec.attribute(attr_name)
+            try:
+                offered = attr.validate(offered)
+            except DomainError as exc:
+                failures.append(f"domain violation on {attr_name!r}: {exc}")
+                continue
+            if not ap.accepts(offered):
+                failures.append(
+                    f"value {offered!r} for {attr_name!r} is not among the "
+                    f"user's acceptable values"
+                )
+                continue
+            values[attr_name] = offered
+    for dep in request.spec.dependencies.violated_by(values):
+        failures.append(f"dependency violation: {dep.name}")
+    return failures
+
+
+def is_admissible(request: ServiceRequest, proposal: Proposal) -> bool:
+    """Whether ``proposal`` satisfies all requested QoS dimensions."""
+    return not admissibility_failures(request, proposal)

@@ -1,0 +1,125 @@
+"""Coalitions and their life cycle (paper Section 4).
+
+*"A coalition's life cycle can be decomposed in three phases: Formation …
+Operation … Dissolution."* A :class:`Coalition` is the temporary group of
+nodes awarded a service's tasks, tracked through those phases with the
+transitions enforced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.proposal import Proposal
+from repro.errors import CoalitionStateError
+from repro.resources.capacity import Capacity
+from repro.resources.reservation import Reservation
+from repro.services.service import Service
+
+
+class CoalitionPhase(enum.Enum):
+    """Life-cycle phases of a coalition."""
+
+    FORMING = "forming"
+    OPERATING = "operating"
+    DISSOLVED = "dissolved"
+
+
+@dataclass
+class TaskAward:
+    """The outcome of allocating one task.
+
+    Attributes:
+        task_id: The allocated task.
+        node_id: The winning node.
+        proposal: The winning proposal (quality level actually promised).
+        distance: eq. 2 evaluation of the winning proposal.
+        comm_cost: Communication cost requester ↔ winner at award time.
+        demand: Admitted resource demand on the winner.
+        reservation: The Resource-Manager receipt (``None`` for dry runs).
+    """
+
+    task_id: str
+    node_id: str
+    proposal: Proposal
+    distance: float
+    comm_cost: float
+    demand: Capacity
+    reservation: Optional[Reservation] = None
+
+
+class Coalition:
+    """A temporary group of nodes executing one service.
+
+    Args:
+        service: The service this coalition executes.
+        formed_at: Simulated time of formation.
+    """
+
+    def __init__(self, service: Service, formed_at: float = 0.0) -> None:
+        self.service = service
+        self.formed_at = formed_at
+        self.phase = CoalitionPhase.FORMING
+        self.awards: Dict[str, TaskAward] = {}
+        self.dissolved_at: Optional[float] = None
+        self.reconfigurations = 0
+
+    # -- formation ----------------------------------------------------------
+
+    def add_award(self, award: TaskAward) -> None:
+        """Record a task award during formation (or reconfiguration)."""
+        if self.phase is CoalitionPhase.DISSOLVED:
+            raise CoalitionStateError("cannot award tasks to a dissolved coalition")
+        self.awards[award.task_id] = award
+
+    def start_operation(self, now: float = 0.0) -> None:
+        """Transition FORMING → OPERATING."""
+        if self.phase is not CoalitionPhase.FORMING:
+            raise CoalitionStateError(
+                f"cannot start operation from phase {self.phase.value}"
+            )
+        self.phase = CoalitionPhase.OPERATING
+
+    def dissolve(self, now: float = 0.0) -> None:
+        """Terminate the coalition (any phase except already dissolved)."""
+        if self.phase is CoalitionPhase.DISSOLVED:
+            raise CoalitionStateError("coalition already dissolved")
+        self.phase = CoalitionPhase.DISSOLVED
+        self.dissolved_at = now
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def members(self) -> frozenset[str]:
+        """Distinct node ids currently holding awards."""
+        return frozenset(a.node_id for a in self.awards.values())
+
+    @property
+    def size(self) -> int:
+        """The paper's third criterion: number of distinct members."""
+        return len(self.members)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task of the service has an award."""
+        return set(self.awards) == {t.task_id for t in self.service.tasks}
+
+    def tasks_on(self, node_id: str) -> Tuple[str, ...]:
+        """Task ids currently awarded to ``node_id``."""
+        return tuple(tid for tid, a in self.awards.items() if a.node_id == node_id)
+
+    def total_distance(self) -> float:
+        """Sum of award distances — the coalition's evaluation value."""
+        return sum(a.distance for a in self.awards.values())
+
+    def total_comm_cost(self) -> float:
+        """Sum of award communication costs."""
+        return sum(a.comm_cost for a in self.awards.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Coalition service={self.service.name!r} phase={self.phase.value} "
+            f"members={sorted(self.members)} awards={len(self.awards)}>"
+        )

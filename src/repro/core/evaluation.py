@@ -1,0 +1,210 @@
+"""Proposal evaluation: eqs. 2–5 (paper Section 6).
+
+.. math::
+
+    \\text{distance} = \\sum_{k=1}^{n} w_k \\cdot \\text{dist}(Q_k)
+    \\qquad (eq.\\ 2)
+
+    w_k = \\frac{n - k + 1}{n} \\qquad (eq.\\ 3)
+
+    \\text{dist}(Q_k) = \\sum_{i=1}^{attr_k} w_i \\cdot
+        \\text{dif}(Prop_{ki}, Pref_{ki}) \\qquad (eq.\\ 4)
+
+    \\text{dif} = \\begin{cases}
+        \\dfrac{Prop_{ki} - Pref_{ki}}{\\max(Q_k) - \\min(Q_k)} &
+            \\text{continuous} \\\\[1ex]
+        \\dfrac{pos(Prop_{ki}) - pos(Pref_{ki})}{length(Q_k) - 1} &
+            \\text{discrete}
+        \\end{cases} \\qquad (eq.\\ 5)
+
+Interpretation choices (documented because the paper under-specifies):
+
+* **Attribute weights** ``w_i`` in eq. 4 reuse the positional scheme of
+  eq. 3 within the dimension: ``w_i = (attr_k − i + 1)/attr_k``. The paper
+  introduces the same relative-importance indexing for attributes and says
+  weights encode that order; eq. 3 is the only weight formula it gives.
+* **Magnitude of dif**: eq. 5 is signed as written, but a signed value
+  would *reward* offers numerically below the preferred one (e.g. 5 fps
+  when 10 fps is preferred ⇒ negative "distance"), contradicting the
+  paper's "lowest evaluation … closer to the preferred ones". We take the
+  absolute value by default; ``signed=True`` restores the literal formula
+  for ablation.
+* **Normalization set** ``Q_k``: eq. 5 normalizes by the attribute's value
+  span/length. ``normalize_by="domain"`` (default) uses the application
+  spec's domain — the quality-index reading of Lee et al. [12] that the
+  paper cites; ``"request"`` uses the request's acceptable set (Section
+  4.1 defines ``Q_kj`` as the requested quality choices). Both are exact
+  implementations of defensible readings; E9's sibling ablation compares
+  them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import DomainError, NegotiationError
+from repro.core.proposal import Proposal
+from repro.qos.domain import ContinuousDomain, DiscreteDomain
+from repro.qos.levels import build_ladder
+from repro.qos.request import AttributePreference, ServiceRequest
+
+
+class WeightScheme(enum.Enum):
+    """How positional importance ranks map to numeric weights."""
+
+    LINEAR = "linear"
+    """The paper's eq. 3: ``w_k = (n - k + 1) / n``."""
+
+    UNIFORM = "uniform"
+    """All ranks weigh 1 — ignores the user's importance order."""
+
+    GEOMETRIC = "geometric"
+    """``w_k = 2^-(k-1)`` — sharply front-loaded importance."""
+
+    def weight(self, rank: int, count: int) -> float:
+        """Weight of the item at 1-based ``rank`` among ``count`` items."""
+        if not (1 <= rank <= count):
+            raise NegotiationError(f"rank {rank} out of range 1..{count}")
+        if self is WeightScheme.LINEAR:
+            return (count - rank + 1) / count
+        if self is WeightScheme.UNIFORM:
+            return 1.0
+        return 2.0 ** (-(rank - 1))
+
+
+class ProposalEvaluator:
+    """Scores proposals against a service request (lower = better).
+
+    Args:
+        request: The user's request (supplies preference orders and the
+            preferred values ``Pref_ki``).
+        weights: Rank→weight scheme for both dimensions and attributes.
+        normalize_by: ``"domain"`` or ``"request"`` — the ``Q_k`` set used
+            by eq. 5's denominators (see module docs).
+        signed: Use eq. 5 literally (signed differences) instead of the
+            default absolute magnitude.
+        float_steps: Interval expansion granularity when normalizing by
+            the request's acceptable set on continuous attributes.
+    """
+
+    def __init__(
+        self,
+        request: ServiceRequest,
+        weights: WeightScheme = WeightScheme.LINEAR,
+        normalize_by: str = "domain",
+        signed: bool = False,
+        float_steps: int = 8,
+    ) -> None:
+        if normalize_by not in ("domain", "request"):
+            raise NegotiationError(
+                f"normalize_by must be 'domain' or 'request', got {normalize_by!r}"
+            )
+        self.request = request
+        self.weights = weights
+        self.normalize_by = normalize_by
+        self.signed = signed
+        self.float_steps = float_steps
+        # Request-ladder cache for "request" normalization of discrete
+        # positions and continuous spans.
+        self._ladders: Dict[str, tuple] = {}
+        if normalize_by == "request":
+            for name in request.attribute_names:
+                attr = request.spec.attribute(name)
+                self._ladders[name] = build_ladder(
+                    request.preference_for(name), attr.domain.value_type, float_steps
+                )
+
+    # -- eq. 3 ------------------------------------------------------------
+
+    def dimension_weight(self, dimension: str) -> float:
+        """``w_k`` for a dimension (eq. 3 under the configured scheme)."""
+        n = len(self.request.dimensions)
+        k = self.request.dimension_rank(dimension)
+        return self.weights.weight(k, n)
+
+    def attribute_weight(self, dimension: str, attribute: str) -> float:
+        """``w_i`` for an attribute within its dimension."""
+        count = len(self.request.dimension_preference(dimension).attributes)
+        i = self.request.attribute_rank(dimension, attribute)
+        return self.weights.weight(i, count)
+
+    # -- eq. 5 ------------------------------------------------------------
+
+    def dif(self, attribute: str, proposed: Any) -> float:
+        """``dif(Prop_ki, Pref_ki)`` for one attribute."""
+        pref = self.request.preference_for(attribute).preferred
+        attr = self.request.spec.attribute(attribute)
+        domain = attr.domain
+
+        if isinstance(domain, ContinuousDomain):
+            proposed_v = float(domain.validate(proposed))
+            pref_v = float(pref)
+            span = self._continuous_span(attribute, domain)
+            raw = (proposed_v - pref_v) / span
+        else:
+            assert isinstance(domain, DiscreteDomain)
+            raw = self._discrete_dif(attribute, domain, proposed, pref)
+        return raw if self.signed else abs(raw)
+
+    def _continuous_span(self, attribute: str, domain: ContinuousDomain) -> float:
+        if self.normalize_by == "domain":
+            return domain.span()
+        lo, hi = self.request.preference_for(attribute).bounds()
+        width = hi - lo
+        return width if width > 0 else 1.0
+
+    def _discrete_dif(
+        self, attribute: str, domain: DiscreteDomain, proposed: Any, pref: Any
+    ) -> float:
+        if self.normalize_by == "domain":
+            span = domain.span()
+            return (domain.position(proposed) - domain.position(pref)) / span
+        ladder = self._ladders[attribute]
+        try:
+            pos_prop = ladder.index(proposed)
+        except ValueError:
+            raise DomainError(
+                f"proposed value {proposed!r} not among acceptable values of "
+                f"{attribute!r}"
+            ) from None
+        pos_pref = ladder.index(pref)  # always 0 by construction
+        span = float(max(len(ladder) - 1, 1))
+        return (pos_prop - pos_pref) / span
+
+    # -- eq. 4 ------------------------------------------------------------
+
+    def dimension_distance(self, dimension: str, proposal: Proposal) -> float:
+        """``dist(Q_k)``: weighted attribute differences of one dimension."""
+        total = 0.0
+        for ap in self.request.dimension_preference(dimension).attributes:
+            w_i = self.attribute_weight(dimension, ap.attribute)
+            total += w_i * self.dif(ap.attribute, proposal.value(ap.attribute))
+        return total
+
+    # -- eq. 2 ------------------------------------------------------------
+
+    def distance(self, proposal: Proposal) -> float:
+        """The full eq. 2 evaluation of a proposal (lower is better)."""
+        total = 0.0
+        for dp in self.request.dimensions:
+            w_k = self.dimension_weight(dp.dimension)
+            total += w_k * self.dimension_distance(dp.dimension, proposal)
+        return total
+
+    def max_distance(self) -> float:
+        """Upper bound of :meth:`distance` over in-domain proposals.
+
+        With absolute differences every ``|dif|`` is at most 1, so the
+        bound is ``Σ_k w_k · Σ_i w_i``. Used to normalize distances into
+        [0, 1] for utility reporting.
+        """
+        total = 0.0
+        for dp in self.request.dimensions:
+            w_k = self.dimension_weight(dp.dimension)
+            inner = sum(
+                self.attribute_weight(dp.dimension, ap.attribute)
+                for ap in dp.attributes
+            )
+            total += w_k * inner
+        return total

@@ -1,0 +1,199 @@
+"""Proposal formulation: the Section 5 local QoS optimization heuristic.
+
+The paper's algorithm (inspired by Abdelzaher et al. [1]):
+
+1. Start by selecting user's preferred values for all QoS dimensions.
+2. While the set of tasks is not schedulable:
+
+   a. For each task ``T_i`` receiving service at level ``Q_kj < Q_kn``
+      (i.e. with room left to degrade),
+   b. determine the decrease in local reward resulting from degrading
+      attribute ``j`` to ``j+1``,
+   c. find the task ``T_m`` whose decrease is minimum and degrade it.
+
+Our implementation considers every ``(task, attribute)`` degradation step,
+skips steps whose resulting assignment would violate the spec's ``Deps``,
+and breaks reward ties deterministically by (task order, attribute
+importance order) so runs are reproducible. Termination is guaranteed:
+each iteration strictly increases the total ladder index, which is
+bounded by the sum of ladder depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InfeasibleTaskError
+from repro.core.reward import LinearPenalty, PenaltyPolicy, local_reward
+from repro.qos.levels import DegradationLadder, QualityAssignment
+from repro.services.task import Task
+
+SchedulabilityTest = Callable[[Mapping[str, QualityAssignment]], bool]
+"""Predicate: can this node serve all tasks at these levels simultaneously?"""
+
+
+@dataclass
+class FormulationResult:
+    """Outcome of running the heuristic over a task set.
+
+    Attributes:
+        assignments: Final per-task quality assignments (task_id keyed).
+        degradations: Number of single-attribute degradation steps taken.
+        rewards: Final per-task local reward (eq. 1).
+        feasible: Whether a schedulable configuration was found. When
+            ``False`` the assignments hold the last (fully degraded)
+            state examined.
+    """
+
+    assignments: Dict[str, QualityAssignment]
+    degradations: int
+    rewards: Dict[str, float]
+    feasible: bool
+
+    def values(self, task_id: str) -> Dict[str, object]:
+        """Concrete attribute→value mapping of one task's assignment."""
+        return self.assignments[task_id].values()
+
+
+def _initial_assignments(
+    tasks: Sequence[Task], float_steps: int
+) -> Dict[str, QualityAssignment]:
+    """Step 1: everyone at the user's preferred values."""
+    out: Dict[str, QualityAssignment] = {}
+    for task in tasks:
+        ladder = task.ladder(float_steps)
+        out[task.task_id] = ladder.top()
+    return out
+
+
+def _dependency_ok(assignment: QualityAssignment) -> bool:
+    return assignment.respects_dependencies()
+
+
+def formulate(
+    tasks: Sequence[Task],
+    is_schedulable: SchedulabilityTest,
+    penalty: Optional[PenaltyPolicy] = None,
+    float_steps: int = 8,
+    require_dependencies: bool = True,
+) -> FormulationResult:
+    """Run the Section 5 heuristic over a set of tasks.
+
+    Args:
+        tasks: The tasks to serve (the paper's ``T``). Task ids must be
+            unique.
+        is_schedulable: The Resource-Manager-backed predicate answering
+            "can all these levels be served at once?".
+        penalty: eq. 1 penalty policy (default linear).
+        float_steps: Interval expansion granularity for float attributes.
+        require_dependencies: When ``True`` (default), degradation steps
+            that would violate the spec's ``Deps`` are skipped, and
+            initial assignments violating them are repaired by degrading
+            the *least important* offending attribute first.
+
+    Returns:
+        A :class:`FormulationResult`; check ``feasible``.
+
+    Raises:
+        InfeasibleTaskError: If even a fully degraded, dependency-valid
+            configuration cannot be found (e.g. dependencies are
+            unsatisfiable on the acceptable ladders).
+    """
+    penalty = penalty if penalty is not None else LinearPenalty()
+    ids = [t.task_id for t in tasks]
+    if len(set(ids)) != len(ids):
+        raise InfeasibleTaskError("duplicate task ids in formulation")
+
+    current = _initial_assignments(tasks, float_steps)
+    degradations = 0
+
+    if require_dependencies:
+        for task in tasks:
+            repaired, steps = _repair_dependencies(current[task.task_id])
+            if repaired is None:
+                raise InfeasibleTaskError(
+                    f"task {task.task_id!r}: no dependency-valid level exists "
+                    f"on the acceptable ladders"
+                )
+            current[task.task_id] = repaired
+            degradations += steps
+
+    while not is_schedulable(current):
+        step = _cheapest_degradation(tasks, current, penalty, require_dependencies)
+        if step is None:
+            return FormulationResult(
+                assignments=current,
+                degradations=degradations,
+                rewards={tid: local_reward(a, penalty) for tid, a in current.items()},
+                feasible=False,
+            )
+        task_id, new_assignment = step
+        current[task_id] = new_assignment
+        degradations += 1
+
+    return FormulationResult(
+        assignments=current,
+        degradations=degradations,
+        rewards={tid: local_reward(a, penalty) for tid, a in current.items()},
+        feasible=True,
+    )
+
+
+def _cheapest_degradation(
+    tasks: Sequence[Task],
+    current: Mapping[str, QualityAssignment],
+    penalty: PenaltyPolicy,
+    require_dependencies: bool,
+) -> Optional[Tuple[str, QualityAssignment]]:
+    """Steps 2a–2c: the minimum-reward-decrease single degradation.
+
+    Returns ``None`` when no task can degrade any further (all at
+    ``Q_kn``, or every remaining step violates dependencies).
+    """
+    best: Optional[Tuple[float, int, int, str, QualityAssignment]] = None
+    for t_index, task in enumerate(tasks):
+        assignment = current[task.task_id]
+        before = local_reward(assignment, penalty)
+        for a_index, attr in enumerate(assignment.ladder_set.request.attribute_names):
+            if not assignment.can_degrade(attr):
+                continue
+            candidate = assignment.degrade(attr)
+            if require_dependencies and not _dependency_ok(candidate):
+                continue
+            decrease = before - local_reward(candidate, penalty)
+            key = (decrease, t_index, a_index, task.task_id, candidate)
+            if best is None or key[:3] < best[:3]:
+                best = key
+    if best is None:
+        return None
+    return best[3], best[4]
+
+
+def _repair_dependencies(
+    assignment: QualityAssignment,
+) -> Tuple[Optional[QualityAssignment], int]:
+    """Degrade (least-important attributes first) until ``Deps`` hold.
+
+    The preferred assignment may itself violate a dependency (e.g. heavy
+    codec at 30 fps). Walk degradations in reverse importance order —
+    sacrificing the least important attribute first — until valid.
+
+    Returns:
+        (valid assignment or None, number of degradation steps taken).
+    """
+    steps = 0
+    current = assignment
+    # Bounded by the total ladder volume; each iteration degrades once.
+    while not _dependency_ok(current):
+        order = list(reversed(current.ladder_set.request.attribute_names))
+        progressed = False
+        for attr in order:
+            if current.can_degrade(attr):
+                current = current.degrade(attr)
+                steps += 1
+                progressed = True
+                break
+        if not progressed:
+            return None, steps
+    return current, steps

@@ -1,0 +1,394 @@
+"""The Section 4.2 negotiation algorithm — synchronous driver.
+
+The paper's four steps:
+
+1. *The Negotiation Organizer broadcasts the description of each service,
+   as well as user's preferences on each QoS dimension.*
+2. *Each QoS Provider contacts its Resource Managers and replies with a
+   multi-attribute proposal.*
+3. *The Negotiation Organizer, using a multi-attribute function, evaluates
+   all received proposals and selects the one that offers the best
+   utility.*
+4. *Relevant data for task execution is sent to winning node.*
+
+This module runs those steps directly over
+:class:`~repro.resources.provider.QoSProvider` objects and a
+:class:`~repro.network.topology.Topology` — no message passing, no
+latency. It is the reference implementation used by baselines, unit tests
+and algorithm-level benchmarks; :mod:`repro.agents` runs the identical
+logic as an asynchronous message protocol over the simulated network.
+
+Award semantics: providers formulate per-task proposals *independently*
+(a provider does not know which subset of tasks it will win), so the
+organizer re-checks admission at award time; if the winner can no longer
+serve the level it proposed (its headroom went to an earlier award), the
+organizer falls through to the next-ranked proposal. This mirrors the
+reservation-at-award behaviour the paper assigns to Resource Managers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.admissibility import is_admissible
+from repro.core.coalition import Coalition, TaskAward
+from repro.core.evaluation import ProposalEvaluator, WeightScheme
+from repro.core.formulation import formulate
+from repro.core.proposal import Proposal
+from repro.core.reputation import ReputationTracker
+from repro.core.reward import PenaltyPolicy
+from repro.core.selection import ScoredProposal, SelectionPolicy
+from repro.errors import CapacityExceededError
+from repro.network.topology import Topology
+from repro.qos.levels import QualityAssignment
+from repro.resources.capacity import Capacity
+from repro.resources.kinds import ResourceKind
+from repro.resources.provider import QoSProvider
+from repro.services.service import Service
+from repro.services.task import Task
+
+
+@dataclass
+class NegotiationOutcome:
+    """Everything a negotiation run produced.
+
+    Attributes:
+        service: The negotiated service.
+        coalition: The formed coalition (phase FORMING; empty on failure).
+        unallocated: Task ids no admissible+servable proposal covered.
+        candidates: Node ids that were asked for proposals.
+        proposals_received: Count of proposals received across tasks.
+        message_count: Protocol messages the run would have cost
+            (1 broadcast copy per candidate + 1 per proposal + 1 per
+            award), matching what the agent-based version sends.
+    """
+
+    service: Service
+    coalition: Coalition
+    unallocated: List[str] = field(default_factory=list)
+    candidates: Tuple[str, ...] = ()
+    proposals_received: int = 0
+    message_count: int = 0
+
+    @property
+    def success(self) -> bool:
+        """Whether every task was allocated."""
+        return not self.unallocated and self.coalition.complete
+
+    def award(self, task_id: str) -> TaskAward:
+        return self.coalition.awards[task_id]
+
+    def total_distance(self) -> float:
+        return self.coalition.total_distance()
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        state = "OK" if self.success else f"FAILED({len(self.unallocated)} unallocated)"
+        return (
+            f"{self.service.name}: {state} members={sorted(self.coalition.members)} "
+            f"distance={self.total_distance():.4f} msgs={self.message_count}"
+        )
+
+
+class _Ledger:
+    """Scratch admission accounting for dry runs (``commit=False``).
+
+    Tracks hypothetical demand per node on top of the real Resource
+    Manager state without mutating it, including the battery constraint
+    on the ENERGY component.
+    """
+
+    def __init__(self, providers: Mapping[str, QoSProvider]) -> None:
+        self.providers = providers
+        self.extra: Dict[str, Capacity] = {}
+
+    def can_admit(self, node_id: str, demand: Capacity) -> bool:
+        provider = self.providers[node_id]
+        if not provider.node.alive or not provider.node.willing:
+            return False
+        booked = self.extra.get(node_id, Capacity.zero())
+        if not provider.headroom().covers(booked + demand):
+            return False
+        energy = (booked + demand).get(ResourceKind.ENERGY)
+        return energy <= provider.node.battery
+
+    def admit(self, node_id: str, demand: Capacity) -> None:
+        self.extra[node_id] = self.extra.get(node_id, Capacity.zero()) + demand
+
+
+def candidate_nodes(
+    service: Service, topology: Topology, max_hops: int = 1
+) -> Tuple[str, ...]:
+    """Step 1's audience: the requester plus its live k-hop neighborhood.
+
+    The paper's coalitions are opportunistic — formed from whoever is in
+    range when the request happens ("may include the node that starts the
+    negotiation"). ``max_hops=1`` is the paper's one-hop broadcast;
+    larger values model the relayed-CFP extension (the fixed-cluster
+    scope of §1).
+    """
+    requester = service.requester
+    ids = [requester] if topology.node(requester).alive else []
+    if max_hops <= 1:
+        ids.extend(topology.neighbors(requester))
+    else:
+        ids.extend(topology.khop_neighbors(requester, max_hops))
+    return tuple(dict.fromkeys(ids))  # preserve order, dedupe
+
+
+def formulate_node_proposals(
+    provider: QoSProvider,
+    tasks: Sequence[Task],
+    penalty: Optional[PenaltyPolicy] = None,
+    now: float = 0.0,
+    float_steps: int = 8,
+) -> List[Proposal]:
+    """Step 2 for one node: formulate proposals for the servable tasks.
+
+    Faithful to Section 5, the node first runs the heuristic over *the
+    set of tasks* jointly ("while the set of tasks is not schedulable
+    ..."), so its proposals are guaranteed co-awardable on its current
+    headroom. When even the fully degraded set does not fit, the node
+    falls back to independent per-task formulation — it can still
+    usefully offer the subset of tasks it could carry individually, and
+    the organizer's award-time admission check resolves conflicts.
+    Tasks the node cannot serve even alone produce no proposal (the node
+    stays silent for them).
+    """
+    proposals: List[Proposal] = []
+    if not provider.node.alive or not provider.node.willing:
+        return proposals
+
+    by_id = {task.task_id: task for task in tasks}
+
+    def joint_servable(assignments: Mapping[str, QualityAssignment]) -> bool:
+        total: Optional[Capacity] = None
+        for tid, assignment in assignments.items():
+            demand = by_id[tid].demand_at(assignment.values())
+            total = demand if total is None else total + demand
+        return True if total is None else provider.can_serve(total)
+
+    joint = formulate(
+        list(tasks), joint_servable, penalty=penalty, float_steps=float_steps
+    )
+    if joint.feasible:
+        for task in tasks:
+            values = joint.values(task.task_id)
+            proposals.append(
+                Proposal(
+                    task_id=task.task_id,
+                    node_id=provider.node.node_id,
+                    values=values,
+                    demand=task.demand_at(values),
+                    formulated_at=now,
+                )
+            )
+        return proposals
+
+    for task in tasks:
+
+        def solo_servable(assignments: Mapping[str, QualityAssignment]) -> bool:
+            demand = task.demand_at(assignments[task.task_id].values())
+            return provider.can_serve(demand)
+
+        result = formulate(
+            [task], solo_servable, penalty=penalty, float_steps=float_steps
+        )
+        if not result.feasible:
+            continue
+        values = result.values(task.task_id)
+        proposals.append(
+            Proposal(
+                task_id=task.task_id,
+                node_id=provider.node.node_id,
+                values=values,
+                demand=task.demand_at(values),
+                formulated_at=now,
+            )
+        )
+    return proposals
+
+
+def negotiate(
+    service: Service,
+    topology: Topology,
+    providers: Mapping[str, QoSProvider],
+    selection: Optional[SelectionPolicy] = None,
+    weights: WeightScheme = WeightScheme.LINEAR,
+    penalty: Optional[PenaltyPolicy] = None,
+    commit: bool = True,
+    now: float = 0.0,
+    candidates: Optional[Sequence[str]] = None,
+    evaluator_options: Optional[dict] = None,
+    max_hops: int = 1,
+    reputation: Optional["ReputationTracker"] = None,
+) -> NegotiationOutcome:
+    """Run the full Section 4.2 negotiation for one service.
+
+    Args:
+        service: The service (tasks + requester) to allocate.
+        topology: Current network topology (audience + comm costs).
+        providers: node id → QoS Provider for every node in the topology.
+        selection: Winner-selection policy (default: the paper's triple).
+        weights: eq. 3 weight scheme for the evaluator.
+        penalty: eq. 1 penalty policy for formulation.
+        commit: When ``True`` award-time admission reserves real
+            resources; when ``False`` a scratch ledger is used and no
+            state is mutated (dry run for baselines/what-ifs).
+        now: Simulated time stamped on proposals/reservations.
+        candidates: Override the audience (default:
+            :func:`candidate_nodes`).
+        evaluator_options: Extra kwargs for
+            :class:`~repro.core.evaluation.ProposalEvaluator`
+            (``normalize_by``, ``signed``, ``float_steps``).
+        max_hops: CFP reach in hops. 1 = the paper's one-hop broadcast;
+            > 1 enables the relayed extension, with communication costs
+            computed over the best multi-hop route.
+        reputation: Optional reliability tracker; its scores reach the
+            selection policy (only used when the policy enables
+            ``use_reputation``).
+
+    Returns:
+        A :class:`NegotiationOutcome`; the coalition is left in phase
+        FORMING so callers can start the operation phase.
+    """
+    selection = selection if selection is not None else SelectionPolicy()
+    evaluator_options = dict(evaluator_options or {})
+    coalition = Coalition(service, formed_at=now)
+    audience = (
+        tuple(candidates) if candidates is not None
+        else candidate_nodes(service, topology, max_hops)
+    )
+    messages = len(audience)  # step 1: one broadcast copy per candidate
+
+    # Step 2: collect proposals per task.
+    by_task: Dict[str, List[Proposal]] = {t.task_id: [] for t in service.tasks}
+    for node_id in audience:
+        provider = providers.get(node_id)
+        if provider is None:
+            continue
+        node_proposals = formulate_node_proposals(
+            provider, service.tasks, penalty=penalty, now=now,
+            float_steps=evaluator_options.get("float_steps", 8),
+        )
+        messages += len(node_proposals)  # step 2: one reply per proposal
+        for proposal in node_proposals:
+            by_task[proposal.task_id].append(proposal)
+
+    proposals_received = sum(len(v) for v in by_task.values())
+    ledger = _Ledger(providers) if not commit else None
+
+    def comm_cost(node_id: str) -> float:
+        try:
+            if max_hops > 1:
+                return topology.multihop_cost(service.requester, node_id)
+            return topology.communication_cost(service.requester, node_id)
+        except Exception:
+            return float("inf")
+
+    # Step 3 + 4: evaluate, select, award with admission re-check.
+    unallocated: List[str] = []
+    for task in service.tasks:
+        evaluator = ProposalEvaluator(task.request, weights=weights, **{
+            k: v for k, v in evaluator_options.items() if k != "float_steps"
+        })
+        admissible = [
+            p for p in by_task[task.task_id] if is_admissible(task.request, p)
+        ]
+
+        def battery(node_id: str) -> float:
+            provider = providers.get(node_id)
+            return provider.node.battery_fraction if provider else 0.0
+
+        scored = SelectionPolicy.score(
+            admissible, evaluator.distance, comm_cost, set(coalition.members),
+            reputation=reputation.score if reputation is not None else None,
+            battery=battery,
+        )
+        ranked = selection.rank(scored)
+        awarded = _try_award(
+            task, ranked, coalition, providers, ledger, commit, now
+        )
+        if awarded is None:
+            unallocated.append(task.task_id)
+        else:
+            coalition.add_award(awarded)
+            messages += 1  # step 4: award/data message to the winner
+
+    return NegotiationOutcome(
+        service=service,
+        coalition=coalition,
+        unallocated=unallocated,
+        candidates=audience,
+        proposals_received=proposals_received,
+        message_count=messages,
+    )
+
+
+def _try_award(
+    task: Task,
+    ranked: Sequence[ScoredProposal],
+    coalition: Coalition,
+    providers: Mapping[str, QoSProvider],
+    ledger: Optional[_Ledger],
+    commit: bool,
+    now: float,
+) -> Optional[TaskAward]:
+    """Walk the ranked proposals; first one that passes admission wins."""
+    holder = f"{coalition.service.name}:{task.task_id}"
+    for scored in ranked:
+        proposal = scored.proposal
+        provider = providers.get(proposal.node_id)
+        if provider is None:
+            continue
+        if commit:
+            try:
+                reservation, demand = provider.reserve_for(
+                    holder, task.demand_model, proposal.values, now
+                )
+            except CapacityExceededError:
+                continue
+            return TaskAward(
+                task_id=task.task_id,
+                node_id=proposal.node_id,
+                proposal=proposal,
+                distance=scored.distance,
+                comm_cost=scored.comm_cost,
+                demand=demand,
+                reservation=reservation,
+            )
+        else:
+            assert ledger is not None
+            demand = task.demand_at(proposal.values)
+            if not ledger.can_admit(proposal.node_id, demand):
+                continue
+            ledger.admit(proposal.node_id, demand)
+            return TaskAward(
+                task_id=task.task_id,
+                node_id=proposal.node_id,
+                proposal=proposal,
+                distance=scored.distance,
+                comm_cost=scored.comm_cost,
+                demand=demand,
+                reservation=None,
+            )
+    return None
+
+
+def release_coalition(
+    coalition: Coalition,
+    providers: Mapping[str, QoSProvider],
+    now: float = 0.0,
+) -> int:
+    """Release every live reservation held by a coalition's awards.
+
+    Returns the number of reservations released. Used at dissolution and
+    by tests to restore manager state.
+    """
+    released = 0
+    for award in coalition.awards.values():
+        if award.reservation is not None and award.reservation.live:
+            providers[award.node_id].release(award.reservation, now)
+            released += 1
+    return released

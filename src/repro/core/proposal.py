@@ -1,0 +1,60 @@
+"""Multi-attribute proposals.
+
+Paper Section 4.2: *"Those nodes who are willing to belong to the future
+coalition … have to submit their multi-attribute proposals, for each
+service's task."* A :class:`Proposal` is one node's offer to execute one
+task at a concrete quality level, together with the resource demand that
+level implies on the offering node (fixed at formulation time so the award
+can be admission-checked against exactly what was promised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.resources.capacity import Capacity
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One node's offer for one task.
+
+    Attributes:
+        task_id: The task this proposal targets.
+        node_id: The offering node.
+        values: Concrete attribute → value assignment (the offered
+            quality level, one value per requested attribute).
+        demand: Resource demand the offer implies on the offering node.
+        formulated_at: Simulated time of formulation (staleness checks
+            during the operation phase).
+    """
+
+    task_id: str
+    node_id: str
+    values: Mapping[str, Any]
+    demand: Capacity = field(default_factory=Capacity.zero)
+    formulated_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so proposals are safely hashable/shareable.
+        object.__setattr__(self, "values", MappingProxyType(dict(self.values)))
+
+    def value(self, attribute: str) -> Any:
+        """The offered value for ``attribute``."""
+        try:
+            return self.values[attribute]
+        except KeyError:
+            raise KeyError(
+                f"proposal for task {self.task_id!r} from {self.node_id!r} "
+                f"offers no value for attribute {attribute!r}"
+            ) from None
+
+    def covers(self, attributes: tuple[str, ...]) -> bool:
+        """Whether the proposal offers a value for every listed attribute."""
+        return all(a in self.values for a in attributes)
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{k}={v!r}" for k, v in sorted(self.values.items()))
+        return f"<Proposal {self.node_id!r}->{self.task_id!r} {{{vals}}}>"

@@ -1,0 +1,25 @@
+"""Experiment harness: scenarios, replication runner, reporting, suites.
+
+Each experiment E1–E14 (see DESIGN.md's per-experiment index) is a
+function in :mod:`repro.experiments.suites` returning an
+:class:`~repro.experiments.reporting.Table`; the benchmark files under
+``benchmarks/`` call them and print the tables, and EXPERIMENTS.md records
+the measured shapes.
+"""
+
+from repro.experiments.config import ClusterConfig, SweepConfig
+from repro.experiments.scenario import build_cluster, build_agent_system, mixed_fleet
+from repro.experiments.runner import replicate
+from repro.experiments.reporting import Table
+from repro.experiments import suites
+
+__all__ = [
+    "ClusterConfig",
+    "SweepConfig",
+    "build_cluster",
+    "build_agent_system",
+    "mixed_fleet",
+    "replicate",
+    "Table",
+    "suites",
+]

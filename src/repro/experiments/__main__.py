@@ -1,0 +1,66 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments                # run every suite (full sweep)
+    python -m repro.experiments E1 E3 E9       # run selected suites
+    python -m repro.experiments --quick E5     # fast smoke sweep
+    python -m repro.experiments --list         # list available suites
+
+Prints each experiment's table to stdout; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.suites import ALL_SUITES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the E1-E13 evaluation suites.",
+    )
+    parser.add_argument(
+        "suites", nargs="*", metavar="ID",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrunken sweeps and fewer seeds (smoke mode)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=8,
+        help="number of replication seeds (default 8)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available suite ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in ALL_SUITES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>4}  {doc}")
+        return 0
+
+    names = args.suites or list(ALL_SUITES)
+    unknown = [n for n in names if n not in ALL_SUITES]
+    if unknown:
+        print(f"unknown suite id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_SUITES)}", file=sys.stderr)
+        return 2
+
+    sweep = SweepConfig(seeds=tuple(range(1, args.seeds + 1)), quick=args.quick)
+    for name in names:
+        table = ALL_SUITES[name](sweep)
+        print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

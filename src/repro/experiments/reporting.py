@@ -1,0 +1,78 @@
+"""Fixed-width result tables, printed the way a paper would.
+
+:class:`Table` accumulates rows of heterogeneous cells (strings, ints,
+floats, ``mean±ci`` pairs) and renders an aligned monospace table with a
+title and optional caption. The benchmark harness prints these; tests
+assert on the underlying ``rows`` data, never on formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import Summary
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, Summary):
+        return f"{value.mean:.3f}±{value.ci_half_width:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """An experiment result table.
+
+    Args:
+        title: Table heading (e.g. ``"E1 — coalition vs single node"``).
+        columns: Column headers.
+        caption: Optional explanatory footer.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str], caption: str = "") -> None:
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.columns = tuple(columns)
+        self.caption = caption
+        self.rows: List[Tuple[Any, ...]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; the cell count must match the columns."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """All raw cells of one column (for test assertions)."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """The aligned monospace rendering."""
+        formatted = [tuple(_format_cell(c) for c in row) for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in formatted)) if formatted
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * max(len(self.title), len(header)), header, sep]
+        for row in formatted:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.caption:
+            lines.append("")
+            lines.append(self.caption)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,33 @@
+"""Seeded replication driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.stats import Summary, describe
+
+
+def replicate(
+    run: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, Summary]:
+    """Run ``run(seed)`` for every seed and summarize each metric column.
+
+    Every replication must return the same metric keys; missing keys are
+    a configuration bug and raise immediately rather than silently
+    averaging over different supports.
+    """
+    rows: List[Dict[str, float]] = []
+    keys = None
+    for seed in seeds:
+        row = run(seed)
+        if keys is None:
+            keys = set(row)
+        elif set(row) != keys:
+            raise ValueError(
+                f"replication with seed {seed} returned keys {sorted(row)} "
+                f"!= expected {sorted(keys)}"
+            )
+        rows.append(row)
+    assert keys is not None, "no seeds provided"
+    return {k: describe([r[k] for r in rows]) for k in sorted(keys)}

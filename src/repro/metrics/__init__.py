@@ -1,0 +1,22 @@
+"""Measurement: user-perceived utility, run collection, statistics."""
+
+from repro.metrics.utility import (
+    allocation_utility,
+    assignment_utility,
+    outcome_utility,
+    proposal_utility,
+)
+from repro.metrics.collector import RunMetrics, collect_outcome_metrics
+from repro.metrics.stats import confidence_interval, describe, mean_ci
+
+__all__ = [
+    "assignment_utility",
+    "proposal_utility",
+    "allocation_utility",
+    "outcome_utility",
+    "RunMetrics",
+    "collect_outcome_metrics",
+    "confidence_interval",
+    "describe",
+    "mean_ci",
+]

@@ -1,0 +1,64 @@
+"""Run-level metric collection from negotiation outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.negotiation import NegotiationOutcome
+from repro.metrics.utility import outcome_utility
+
+
+@dataclass
+class RunMetrics:
+    """Flat metric record of one negotiation run.
+
+    All the quantities the experiment tables report, in one row.
+    """
+
+    success: bool
+    allocated_tasks: int
+    total_tasks: int
+    utility: float
+    total_distance: float
+    coalition_size: int
+    comm_cost: float
+    message_count: int
+    proposals_received: int
+    candidates: int
+
+    @property
+    def allocation_rate(self) -> float:
+        if self.total_tasks == 0:
+            return 0.0
+        return self.allocated_tasks / self.total_tasks
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "success": float(self.success),
+            "allocation_rate": self.allocation_rate,
+            "utility": self.utility,
+            "total_distance": self.total_distance,
+            "coalition_size": float(self.coalition_size),
+            "comm_cost": self.comm_cost,
+            "message_count": float(self.message_count),
+            "proposals_received": float(self.proposals_received),
+            "candidates": float(self.candidates),
+        }
+
+
+def collect_outcome_metrics(outcome: NegotiationOutcome) -> RunMetrics:
+    """Extract a :class:`RunMetrics` row from a negotiation outcome."""
+    comm = outcome.coalition.total_comm_cost()
+    return RunMetrics(
+        success=outcome.success,
+        allocated_tasks=len(outcome.coalition.awards),
+        total_tasks=len(outcome.service.tasks),
+        utility=outcome_utility(outcome),
+        total_distance=outcome.total_distance(),
+        coalition_size=outcome.coalition.size,
+        comm_cost=comm if comm != float("inf") else -1.0,
+        message_count=outcome.message_count,
+        proposals_received=outcome.proposals_received,
+        candidates=len(outcome.candidates),
+    )

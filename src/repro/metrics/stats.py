@@ -1,0 +1,68 @@
+"""Aggregation statistics for seed sweeps.
+
+Experiments run each configuration over several seeds; these helpers turn
+the per-seed samples into the mean ± CI rows the reports print. The CI
+uses the normal approximation (sweeps of 10–30 replications), matching
+standard simulation-study practice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+#: 97.5 % standard-normal quantile, for 95 % two-sided intervals.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one metric across replications."""
+
+    mean: float
+    std: float
+    ci_half_width: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.ci_half_width:.4f} (n={self.n})"
+
+
+def describe(samples: Sequence[float]) -> Summary:
+    """Mean, sample std, 95 % CI half-width, extremes."""
+    if len(samples) == 0:
+        raise ValueError("cannot describe an empty sample")
+    arr = np.asarray(samples, dtype=float)
+    n = len(arr)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    half = Z_95 * std / math.sqrt(n) if n > 1 else 0.0
+    return Summary(
+        mean=mean, std=std, ci_half_width=half, n=n,
+        minimum=float(arr.min()), maximum=float(arr.max()),
+    )
+
+
+def mean_ci(samples: Sequence[float]) -> tuple[float, float]:
+    """(mean, 95 % CI half-width) shortcut."""
+    s = describe(samples)
+    return s.mean, s.ci_half_width
+
+
+def confidence_interval(samples: Sequence[float]) -> tuple[float, float]:
+    """95 % confidence interval (lo, hi) for the mean."""
+    s = describe(samples)
+    return s.mean - s.ci_half_width, s.mean + s.ci_half_width
+
+
+def summarize_rows(rows: Sequence[Dict[str, float]]) -> Dict[str, Summary]:
+    """Column-wise :func:`describe` over dict rows sharing keys."""
+    if not rows:
+        raise ValueError("no rows to summarize")
+    keys = rows[0].keys()
+    return {k: describe([r[k] for r in rows]) for k in keys}

@@ -1,0 +1,48 @@
+"""Simulated wireless ad-hoc network.
+
+The paper's setting: *"As devices move within the range of each others a
+local ad-hoc network forms spontaneously"* (Section 1), with no fixed
+infrastructure required (Section 2). This subpackage provides the parts of
+that setting the negotiation protocol actually observes:
+
+* node positions and **mobility** (:mod:`repro.network.mobility` — random
+  waypoint et al.);
+* **radio connectivity** via the unit-disc model with distance-dependent
+  link bandwidth (:mod:`repro.network.radio`);
+* a dynamic **topology** graph with neighbor discovery
+  (:mod:`repro.network.topology`);
+* lossy, latency-bearing **message channels** and typed unicast/broadcast
+  **messaging** (:mod:`repro.network.channel`,
+  :mod:`repro.network.messaging`).
+
+Real 802.11 PHY/MAC details (contention, fading) are out of scope — the
+negotiation outcome depends on who hears the broadcast, message latency /
+loss, and link bandwidth for communication cost, all of which are modeled.
+"""
+
+from repro.network.geometry import Point, distance
+from repro.network.mobility import (
+    GroupMobility,
+    MobilityModel,
+    RandomWaypoint,
+    StaticPlacement,
+)
+from repro.network.radio import DiscRadio, RadioModel
+from repro.network.topology import Topology
+from repro.network.channel import ChannelModel
+from repro.network.messaging import Message, NetworkService
+
+__all__ = [
+    "Point",
+    "distance",
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticPlacement",
+    "GroupMobility",
+    "RadioModel",
+    "DiscRadio",
+    "Topology",
+    "ChannelModel",
+    "Message",
+    "NetworkService",
+]

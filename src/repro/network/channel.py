@@ -1,0 +1,64 @@
+"""Message channel model: latency and loss over simulated links.
+
+:class:`ChannelModel` turns a topology edge plus a message size into a
+delivery decision (lost or not, per the link loss probability) and a
+delivery latency (propagation constant + transmission time at the link
+bandwidth + random jitter). Deterministic given the RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+
+class ChannelModel:
+    """Latency/loss model applied per transmitted message.
+
+    Args:
+        topology: The live topology (source of per-link bandwidth / loss).
+        rng: RNG stream for loss draws and jitter.
+        propagation_delay: Fixed per-hop delay in seconds (MAC + queueing
+            floor).
+        jitter: Upper bound of uniform random extra delay in seconds.
+        reliable: When ``True`` loss draws are skipped entirely (useful
+            for experiments isolating algorithmic effects from loss).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        propagation_delay: float = 0.002,
+        jitter: float = 0.001,
+        reliable: bool = False,
+    ) -> None:
+        if propagation_delay < 0 or jitter < 0:
+            raise ValueError("delays must be non-negative")
+        self.topology = topology
+        self.rng = rng
+        self.propagation_delay = float(propagation_delay)
+        self.jitter = float(jitter)
+        self.reliable = reliable
+
+    def transmit(self, src: str, dst: str, size_kb: float) -> Optional[float]:
+        """Attempt a transmission; return the latency or ``None`` if lost.
+
+        Local delivery (``src == dst``) is instantaneous and lossless.
+        Unconnected pairs always lose the message (radio silence).
+        """
+        if src == dst:
+            return 0.0
+        if not self.topology.connected(src, dst):
+            return None
+        if not self.reliable:
+            loss = self.topology.link_loss(src, dst)
+            if loss > 0.0 and self.rng.random() < loss:
+                return None
+        bandwidth = self.topology.link_bandwidth(src, dst)  # kb/s
+        tx_time = (size_kb / bandwidth) if bandwidth > 0 else float("inf")
+        extra = float(self.rng.uniform(0.0, self.jitter)) if self.jitter > 0 else 0.0
+        return self.propagation_delay + tx_time + extra

@@ -1,0 +1,32 @@
+"""2-D geometry primitives for the network plane."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+Point = Tuple[float, float]
+"""A 2-D position in meters."""
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def clamp_to_area(p: Point, width: float, height: float) -> Point:
+    """Clamp a point into the rectangle ``[0,width] x [0,height]``."""
+    return (min(max(p[0], 0.0), width), min(max(p[1], 0.0), height))
+
+
+def lerp(a: Point, b: Point, t: float) -> Point:
+    """Linear interpolation from ``a`` (t=0) to ``b`` (t=1)."""
+    return (a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t)
+
+
+def heading(a: Point, b: Point) -> Tuple[float, float]:
+    """Unit vector from ``a`` toward ``b`` (zero vector if coincident)."""
+    d = distance(a, b)
+    if d == 0.0:
+        return (0.0, 0.0)
+    return ((b[0] - a[0]) / d, (b[1] - a[1]) / d)

@@ -1,0 +1,232 @@
+"""Typed messages and the network delivery service.
+
+:class:`NetworkService` binds the engine, topology and channel model into
+the send/broadcast API agents use. Deliveries are engine events at
+:class:`~repro.sim.events.Priority.DELIVERY`; each registered node gets an
+inbox callback. Every transmission is traced (category ``"net"``), which
+is how the experiments count protocol messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import UnknownNodeError
+from repro.network.channel import ChannelModel
+from repro.network.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    Attributes:
+        sender: Source node id.
+        recipient: Destination node id (for broadcasts, the concrete
+            neighbor the copy was delivered to).
+        kind: Protocol message kind (e.g. ``"CFP"``, ``"PROPOSE"``).
+        payload: Free-form body.
+        size_kb: Simulated wire size, drives transmission latency.
+        mid: Unique message id.
+        broadcast: Whether this copy was part of a broadcast.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    size_kb: float = 1.0
+    mid: int = field(default_factory=lambda: next(_message_ids))
+    broadcast: bool = False
+
+
+InboxHandler = Callable[[Message, float], None]
+"""Callback invoked as ``handler(message, now)`` on delivery."""
+
+
+class NetworkService:
+    """Message delivery over the simulated ad-hoc network.
+
+    Args:
+        engine: The simulation engine (clock + event queue).
+        topology: Connectivity source.
+        channel: Latency/loss model.
+    """
+
+    def __init__(self, engine: Engine, topology: Topology, channel: ChannelModel) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.channel = channel
+        self._inboxes: Dict[str, InboxHandler] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.lost_count = 0
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, node_id: str, handler: InboxHandler) -> None:
+        """Attach the inbox handler for ``node_id`` (one per node)."""
+        if node_id not in self.topology:
+            raise UnknownNodeError(node_id)
+        self._inboxes[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        self._inboxes.pop(node_id, None)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_kb: float = 1.0,
+    ) -> Optional[Message]:
+        """Unicast a message; returns it, or ``None`` if lost in transit.
+
+        A returned message is *scheduled* for delivery, not yet delivered.
+        """
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind,
+            payload=payload, size_kb=size_kb,
+        )
+        return self._transmit(message)
+
+    def send_routed(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        size_kb: float = 1.0,
+    ) -> Optional[Message]:
+        """Unicast over the best multi-hop route (relayed extension).
+
+        The route is source-computed at send time (abstracting an ad-hoc
+        routing protocol such as DSR); each hop independently suffers the
+        link's loss and latency, so end-to-end delivery probability is
+        the product of the per-hop survival rates and latency is the sum
+        of per-hop latencies. Falls back to plain :meth:`send` for
+        direct links. Counts one radio transmission per hop.
+        """
+        if sender == recipient:
+            return self.send(sender, recipient, kind, payload, size_kb)
+        route = self.topology.shortest_route(sender, recipient)
+        if route is None:
+            self.sent_count += 1
+            self.lost_count += 1
+            self.engine.tracer.emit(
+                self.engine.now, "net", "unroutable",
+                kind=kind, src=sender, dst=recipient,
+            )
+            return None
+        if len(route) <= 2:
+            return self.send(sender, recipient, kind, payload, size_kb)
+        total_latency = 0.0
+        for u, v in zip(route, route[1:]):
+            self.sent_count += 1
+            hop_latency = self.channel.transmit(u, v, size_kb)
+            if hop_latency is None or not self.topology.node(v).alive:
+                self.lost_count += 1
+                self.engine.tracer.emit(
+                    self.engine.now, "net", "lost",
+                    kind=kind, src=sender, dst=recipient, hop=f"{u}->{v}",
+                )
+                return None
+            total_latency += hop_latency
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind,
+            payload=payload, size_kb=size_kb,
+        )
+        self.engine.tracer.emit(
+            self.engine.now, "net", "sent_routed",
+            mid=message.mid, kind=kind, src=sender, dst=recipient,
+            hops=len(route) - 1,
+        )
+        self.engine.schedule(
+            total_latency,
+            lambda now, m=message: self._deliver(m, now),
+            priority=Priority.DELIVERY,
+        )
+        return message
+
+    def broadcast(
+        self,
+        sender: str,
+        kind: str,
+        payload: Any,
+        size_kb: float = 1.0,
+    ) -> Tuple[Message, ...]:
+        """One-hop broadcast to every current neighbor of ``sender``.
+
+        This is the paper's step 1: "The Negotiation Organizer broadcasts
+        the description of each service, as well as user's preferences".
+        Each neighbor's copy suffers loss/latency independently.
+
+        Returns:
+            The message copies scheduled for delivery (lost copies
+            excluded).
+        """
+        delivered = []
+        for neighbor in self.topology.neighbors(sender):
+            message = Message(
+                sender=sender, recipient=neighbor, kind=kind,
+                payload=payload, size_kb=size_kb, broadcast=True,
+            )
+            if self._transmit(message) is not None:
+                delivered.append(message)
+        return tuple(delivered)
+
+    def _transmit(self, message: Message) -> Optional[Message]:
+        self.sent_count += 1
+        dead_target = (
+            message.recipient in self.topology
+            and not self.topology.node(message.recipient).alive
+        )
+        latency = self.channel.transmit(
+            message.sender, message.recipient, message.size_kb
+        )
+        if latency is None or dead_target:
+            self.lost_count += 1
+            self.engine.tracer.emit(
+                self.engine.now, "net", "lost",
+                mid=message.mid, kind=message.kind,
+                src=message.sender, dst=message.recipient,
+            )
+            return None
+        self.engine.tracer.emit(
+            self.engine.now, "net", "sent",
+            mid=message.mid, kind=message.kind,
+            src=message.sender, dst=message.recipient, size_kb=message.size_kb,
+        )
+        self.engine.schedule(
+            latency,
+            lambda now, m=message: self._deliver(m, now),
+            priority=Priority.DELIVERY,
+        )
+        return message
+
+    def _deliver(self, message: Message, now: float) -> None:
+        node = self.topology.node(message.recipient) if message.recipient in self.topology else None
+        if node is None or not node.alive:
+            self.lost_count += 1
+            return
+        handler = self._inboxes.get(message.recipient)
+        if handler is None:
+            # No agent attached: the radio heard it, nobody was listening.
+            self.lost_count += 1
+            return
+        self.delivered_count += 1
+        self.engine.tracer.emit(
+            now, "net", "delivered",
+            mid=message.mid, kind=message.kind,
+            src=message.sender, dst=message.recipient,
+        )
+        handler(message, now)

@@ -1,0 +1,89 @@
+"""Radio connectivity and link-quality models.
+
+:class:`DiscRadio` is the standard unit-disc model: two nodes are linked
+iff their distance is at most ``range_m``. Link bandwidth degrades with
+distance (rate-adaptation, as in 802.11): full nominal bandwidth up to
+half range, then linear fall-off to ``min_rate_fraction`` at the edge.
+Message loss probability rises from ``base_loss`` at zero distance to
+``edge_loss`` at full range.
+
+These three curves (connectivity, bandwidth, loss) are everything the
+negotiation layer observes about the PHY.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.network.geometry import Point, distance
+
+
+class RadioModel(abc.ABC):
+    """Predicts link existence and quality from node positions."""
+
+    @abc.abstractmethod
+    def in_range(self, a: Point, b: Point) -> bool:
+        """Whether a direct link exists between positions ``a`` and ``b``."""
+
+    @abc.abstractmethod
+    def bandwidth(self, a: Point, b: Point) -> float:
+        """Link bandwidth in kb/s (0.0 when out of range)."""
+
+    @abc.abstractmethod
+    def loss_probability(self, a: Point, b: Point) -> float:
+        """Per-message loss probability in [0, 1] (1.0 when out of range)."""
+
+
+class DiscRadio(RadioModel):
+    """Unit-disc connectivity with distance-adaptive rate and loss.
+
+    Args:
+        range_m: Radio range in meters.
+        nominal_bandwidth: Full link rate in kb/s at close distance.
+        min_rate_fraction: Fraction of nominal rate remaining at the edge
+            of the range (simple two-segment rate adaptation).
+        base_loss: Loss probability at distance 0.
+        edge_loss: Loss probability at the range edge.
+    """
+
+    def __init__(
+        self,
+        range_m: float = 100.0,
+        nominal_bandwidth: float = 5000.0,
+        min_rate_fraction: float = 0.2,
+        base_loss: float = 0.0,
+        edge_loss: float = 0.1,
+    ) -> None:
+        if range_m <= 0:
+            raise ValueError("radio range must be positive")
+        if not (0.0 <= min_rate_fraction <= 1.0):
+            raise ValueError("min_rate_fraction must be in [0, 1]")
+        if not (0.0 <= base_loss <= 1.0 and 0.0 <= edge_loss <= 1.0):
+            raise ValueError("loss probabilities must be in [0, 1]")
+        self.range_m = float(range_m)
+        self.nominal_bandwidth = float(nominal_bandwidth)
+        self.min_rate_fraction = float(min_rate_fraction)
+        self.base_loss = float(base_loss)
+        self.edge_loss = float(edge_loss)
+
+    def in_range(self, a: Point, b: Point) -> bool:
+        return distance(a, b) <= self.range_m
+
+    def bandwidth(self, a: Point, b: Point) -> float:
+        d = distance(a, b)
+        if d > self.range_m:
+            return 0.0
+        half = self.range_m / 2.0
+        if d <= half:
+            return self.nominal_bandwidth
+        # Linear fall-off from nominal at half range to the floor at edge.
+        frac = (d - half) / half
+        factor = 1.0 - frac * (1.0 - self.min_rate_fraction)
+        return self.nominal_bandwidth * factor
+
+    def loss_probability(self, a: Point, b: Point) -> float:
+        d = distance(a, b)
+        if d > self.range_m:
+            return 1.0
+        frac = d / self.range_m
+        return self.base_loss + frac * (self.edge_loss - self.base_loss)

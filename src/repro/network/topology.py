@@ -1,0 +1,198 @@
+"""Dynamic connectivity graph and neighbor discovery.
+
+:class:`Topology` maintains a :mod:`networkx` graph over the live nodes,
+rebuilt from positions and the radio model. The negotiation layer asks it
+two questions: *who are the requester's neighbors right now* (candidate
+coalition members — the paper's "nodes in range") and *what does it cost to
+talk to them* (link bandwidth → communication-cost tie-break).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import NotConnectedError, UnknownNodeError
+from repro.network.radio import RadioModel
+from repro.resources.node import Node
+
+
+class Topology:
+    """The network graph over a set of nodes under a radio model.
+
+    Args:
+        nodes: Participating nodes (dead nodes are excluded from edges).
+        radio: Connectivity/quality model.
+    """
+
+    def __init__(self, nodes: Sequence[Node], radio: RadioModel) -> None:
+        self.radio = radio
+        self._nodes: Dict[str, Node] = {}
+        self.graph = nx.Graph()
+        for node in nodes:
+            self.add_node(node)
+        self.rebuild()
+
+    # -- membership ------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self.graph.add_node(node.node_id)
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        del self._nodes[node_id]
+        self.graph.remove_node(node_id)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    @property
+    def node_ids(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    # -- connectivity ------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Recompute all edges from current positions and liveness.
+
+        O(n²) pairwise distances — fine for the node counts the paper's
+        setting implies (tens of devices in radio proximity).
+        """
+        self.graph.remove_edges_from(list(self.graph.edges))
+        alive = [n for n in self._nodes.values() if n.alive]
+        for i, a in enumerate(alive):
+            for b in alive[i + 1 :]:
+                if self.radio.in_range(a.position, b.position):
+                    bw = self.radio.bandwidth(a.position, b.position)
+                    loss = self.radio.loss_probability(a.position, b.position)
+                    self.graph.add_edge(
+                        a.node_id, b.node_id, bandwidth=bw, loss=loss,
+                        distance=a.distance_to(b),
+                    )
+
+    def neighbors(self, node_id: str) -> Tuple[str, ...]:
+        """Ids of live nodes in direct radio range of ``node_id``."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return tuple(self.graph.neighbors(node_id))
+
+    def connected(self, a: str, b: str) -> bool:
+        """Whether a direct link exists between ``a`` and ``b``."""
+        if a not in self._nodes:
+            raise UnknownNodeError(a)
+        if b not in self._nodes:
+            raise UnknownNodeError(b)
+        return self.graph.has_edge(a, b)
+
+    def link_bandwidth(self, a: str, b: str) -> float:
+        """Direct-link bandwidth in kb/s.
+
+        Raises:
+            NotConnectedError: If no direct link exists.
+        """
+        if not self.connected(a, b):
+            raise NotConnectedError(f"no link {a!r} <-> {b!r}")
+        return float(self.graph.edges[a, b]["bandwidth"])
+
+    def link_loss(self, a: str, b: str) -> float:
+        """Direct-link loss probability."""
+        if not self.connected(a, b):
+            raise NotConnectedError(f"no link {a!r} <-> {b!r}")
+        return float(self.graph.edges[a, b]["loss"])
+
+    def communication_cost(self, a: str, b: str) -> float:
+        """Cost of talking over the direct link: inverse normalized
+        bandwidth (cheap = fast link). ``a == b`` costs 0 — local
+        execution needs no radio at all, matching the paper's "lowest
+        communication cost" criterion favouring nearby/local execution."""
+        if a == b:
+            return 0.0
+        bw = self.link_bandwidth(a, b)
+        return 1000.0 / bw if bw > 0 else float("inf")
+
+    # -- multi-hop ------------------------------------------------------------
+
+    def khop_neighbors(self, node_id: str, k: int) -> Tuple[str, ...]:
+        """Live nodes within ``k`` hops of ``node_id`` (excluding itself).
+
+        ``k=1`` equals :meth:`neighbors`. Supports the relayed-CFP
+        extension: the paper's broadcast is one-hop, but §1 explicitly
+        keeps larger infrastructures in scope.
+        """
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        if k < 1:
+            return ()
+        lengths = nx.single_source_shortest_path_length(self.graph, node_id, cutoff=k)
+        return tuple(n for n in lengths if n != node_id)
+
+    def shortest_route(self, a: str, b: str) -> Optional[Tuple[str, ...]]:
+        """Minimum-communication-cost multi-hop route from ``a`` to ``b``.
+
+        Edge weight is the per-hop communication cost (inverse normalized
+        bandwidth). Returns the node sequence including both endpoints,
+        or ``None`` when no path exists. ``a == b`` yields ``(a,)``.
+        """
+        if a not in self._nodes:
+            raise UnknownNodeError(a)
+        if b not in self._nodes:
+            raise UnknownNodeError(b)
+        if a == b:
+            return (a,)
+        try:
+            path = nx.shortest_path(
+                self.graph, a, b,
+                weight=lambda u, v, d: 1000.0 / d["bandwidth"] if d["bandwidth"] > 0 else None,
+            )
+        except nx.NetworkXNoPath:
+            return None
+        return tuple(path)
+
+    def multihop_cost(self, a: str, b: str) -> float:
+        """Communication cost of the best multi-hop route (sum of per-hop
+        costs); ``inf`` when unreachable, 0 for ``a == b``."""
+        route = self.shortest_route(a, b)
+        if route is None:
+            return float("inf")
+        total = 0.0
+        for u, v in zip(route, route[1:]):
+            total += self.communication_cost(u, v)
+        return total
+
+    # -- analysis helpers ------------------------------------------------------
+
+    def reachable_set(self, node_id: str) -> frozenset[str]:
+        """All nodes reachable from ``node_id`` via multi-hop paths."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return frozenset(nx.node_connected_component(self.graph, node_id))
+
+    def component_count(self) -> int:
+        """Number of connected components among live nodes."""
+        alive = [n.node_id for n in self._nodes.values() if n.alive]
+        return nx.number_connected_components(self.graph.subgraph(alive))
+
+    def average_degree(self) -> float:
+        """Mean neighbor count over all registered nodes."""
+        n = self.graph.number_of_nodes()
+        if n == 0:
+            return 0.0
+        return 2.0 * self.graph.number_of_edges() / n

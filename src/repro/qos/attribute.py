@@ -1,0 +1,48 @@
+"""QoS attributes (paper: ``Attr`` + ``AVr``).
+
+An :class:`Attribute` couples an identifier with its value domain — the
+``AVr : Attr_i -> Val_k`` relation is represented directly by the
+``domain`` field, since the paper requires exactly one value set per
+attribute (``∃1 Val_k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.qos.domain import Domain
+from repro.qos.types import DomainKind
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A QoS attribute: identifier plus value domain.
+
+    Attributes:
+        name: Attribute identifier (e.g. ``"frame rate"``). Unique within
+            a :class:`~repro.qos.spec.QoSSpec`.
+        domain: The attribute's value set (``AVr`` image).
+        unit: Optional human-readable unit (``"fps"``, ``"Hz"``); purely
+            documentation.
+    """
+
+    name: str
+    domain: Domain = field(compare=True)
+    unit: str = ""
+
+    @property
+    def is_discrete(self) -> bool:
+        return self.domain.kind is DomainKind.DISCRETE
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.domain.kind is DomainKind.CONTINUOUS
+
+    def validate(self, value: Any) -> Any:
+        """Validate a value against this attribute's domain."""
+        return self.domain.validate(value)
+
+    def __str__(self) -> str:
+        unit = f" [{self.unit}]" if self.unit else ""
+        return f"{self.name}{unit}: {self.domain!r}"

@@ -1,0 +1,242 @@
+"""Ready-made QoS specifications and requests mirroring the paper's examples.
+
+Section 3 of the paper sketches a video-streaming application with
+dimensions *Video Quality* (color depth, frame rate) and *Audio Quality*
+(sampling rate, sample bits), and Section 3.1 gives a remote-surveillance
+request over it. This module ships both, plus a video-conferencing spec
+used by the motivating scenario of Section 1 (computation-heavy codecs on
+weak clients) and helper constructors for synthetic specs used in tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.qos.attribute import Attribute
+from repro.qos.dependencies import Dependency, DependencySet
+from repro.qos.dimension import QoSDimension
+from repro.qos.domain import ContinuousDomain, DiscreteDomain
+from repro.qos.request import (
+    AttributePreference,
+    DimensionPreference,
+    ServiceRequest,
+    ValueInterval,
+)
+from repro.qos.spec import QoSSpec
+from repro.qos.types import ValueType
+
+# Canonical attribute names, reused across catalog specs.
+COLOR_DEPTH = "color depth"
+FRAME_RATE = "frame rate"
+SAMPLING_RATE = "sampling rate"
+SAMPLE_BITS = "sample bits"
+RESOLUTION = "resolution"
+CODEC = "codec"
+
+VIDEO_QUALITY = "Video Quality"
+AUDIO_QUALITY = "Audio Quality"
+CODING = "Coding"
+
+
+def video_streaming_spec() -> QoSSpec:
+    """The paper's Section 3 example, verbatim.
+
+    ``Dim = {Video Quality, Audio Quality}``;
+    ``AV_color_depth = {1, 3, 8, 16, 24}`` (best-first: 24 ... 1);
+    ``AV_frame_rate = [1..30]``;
+    ``AV_sampling_rate = {8, 16, 24, 44}`` (best-first: 44 ... 8);
+    ``AV_sample_bits = {8, 16, 24}`` (best-first: 24 ... 8).
+    """
+    return QoSSpec(
+        name="video-streaming",
+        dimensions=(
+            QoSDimension(VIDEO_QUALITY, (COLOR_DEPTH, FRAME_RATE)),
+            QoSDimension(AUDIO_QUALITY, (SAMPLING_RATE, SAMPLE_BITS)),
+        ),
+        attributes=(
+            Attribute(COLOR_DEPTH, DiscreteDomain(ValueType.INTEGER, (24, 16, 8, 3, 1)), unit="bit"),
+            Attribute(FRAME_RATE, ContinuousDomain(ValueType.INTEGER, 1, 30), unit="fps"),
+            Attribute(SAMPLING_RATE, DiscreteDomain(ValueType.INTEGER, (44, 24, 16, 8)), unit="kHz"),
+            Attribute(SAMPLE_BITS, DiscreteDomain(ValueType.INTEGER, (24, 16, 8)), unit="bit"),
+        ),
+    )
+
+
+def surveillance_request(spec: QoSSpec | None = None) -> ServiceRequest:
+    """The Section 3.1 remote-surveillance request, verbatim.
+
+    Video dominates audio; gray-scale, low frame rate is fine:
+
+    1. Video Quality — (a) frame rate: [10..5], [4..1]; (b) color depth: 3, 1
+    2. Audio Quality — (a) sampling rate: 8; (b) sample bits: 8
+    """
+    spec = spec if spec is not None else video_streaming_spec()
+    return ServiceRequest(
+        spec=spec,
+        name="remote-surveillance",
+        dimensions=(
+            DimensionPreference(
+                VIDEO_QUALITY,
+                (
+                    AttributePreference(
+                        FRAME_RATE,
+                        (ValueInterval(10, 5), ValueInterval(4, 1)),
+                    ),
+                    AttributePreference(COLOR_DEPTH, (3, 1)),
+                ),
+            ),
+            DimensionPreference(
+                AUDIO_QUALITY,
+                (
+                    AttributePreference(SAMPLING_RATE, (8,)),
+                    AttributePreference(SAMPLE_BITS, (8,)),
+                ),
+            ),
+        ),
+    )
+
+
+def high_quality_streaming_request(spec: QoSSpec | None = None) -> ServiceRequest:
+    """A demanding movie-playback request over the streaming spec.
+
+    Wants full quality, tolerates moderate degradation. Used by the
+    video-streaming example and the offloading experiments.
+    """
+    spec = spec if spec is not None else video_streaming_spec()
+    return ServiceRequest(
+        spec=spec,
+        name="movie-playback",
+        dimensions=(
+            DimensionPreference(
+                VIDEO_QUALITY,
+                (
+                    AttributePreference(
+                        FRAME_RATE,
+                        (ValueInterval(30, 24), ValueInterval(23, 12)),
+                    ),
+                    AttributePreference(COLOR_DEPTH, (24, 16, 8)),
+                ),
+            ),
+            DimensionPreference(
+                AUDIO_QUALITY,
+                (
+                    AttributePreference(SAMPLING_RATE, (44, 24, 16)),
+                    AttributePreference(SAMPLE_BITS, (16, 8)),
+                ),
+            ),
+        ),
+    )
+
+
+def video_conference_spec() -> QoSSpec:
+    """A three-dimension conferencing spec with an attribute dependency.
+
+    Models the Section 1 motivation: "video conferencing systems often use
+    compression schemes that are effective, but computationally intensive".
+    The *Coding* dimension's codec choice interacts with frame rate via a
+    ``Deps`` entry: the heavy codec is only usable at <= 20 fps (it cannot
+    keep up beyond that on any realistic device of the scenario).
+    """
+    deps = DependencySet(
+        (
+            Dependency(
+                name="heavy-codec-fps-limit",
+                attributes=(CODEC, FRAME_RATE),
+                predicate=lambda v: v[CODEC] != "wavelet" or v[FRAME_RATE] <= 20,
+            ),
+        )
+    )
+    return QoSSpec(
+        name="video-conference",
+        dimensions=(
+            QoSDimension(VIDEO_QUALITY, (FRAME_RATE, RESOLUTION)),
+            QoSDimension(AUDIO_QUALITY, (SAMPLING_RATE,)),
+            QoSDimension(CODING, (CODEC,)),
+        ),
+        attributes=(
+            Attribute(FRAME_RATE, ContinuousDomain(ValueType.INTEGER, 1, 30), unit="fps"),
+            Attribute(
+                RESOLUTION,
+                DiscreteDomain(ValueType.STRING, ("1080p", "720p", "480p", "240p")),
+            ),
+            Attribute(SAMPLING_RATE, DiscreteDomain(ValueType.INTEGER, (44, 16, 8)), unit="kHz"),
+            Attribute(CODEC, DiscreteDomain(ValueType.STRING, ("wavelet", "dct", "none"))),
+        ),
+        dependencies=deps,
+    )
+
+
+def video_conference_request(spec: QoSSpec | None = None) -> ServiceRequest:
+    """A balanced conferencing request over :func:`video_conference_spec`."""
+    spec = spec if spec is not None else video_conference_spec()
+    return ServiceRequest(
+        spec=spec,
+        name="conference-call",
+        dimensions=(
+            DimensionPreference(
+                VIDEO_QUALITY,
+                (
+                    AttributePreference(
+                        FRAME_RATE, (ValueInterval(20, 10), ValueInterval(9, 5))
+                    ),
+                    AttributePreference(RESOLUTION, ("720p", "480p", "240p")),
+                ),
+            ),
+            DimensionPreference(
+                AUDIO_QUALITY,
+                (AttributePreference(SAMPLING_RATE, (16, 8)),),
+            ),
+            DimensionPreference(
+                CODING,
+                (AttributePreference(CODEC, ("wavelet", "dct", "none")),),
+            ),
+        ),
+    )
+
+
+def synthetic_spec(
+    n_dimensions: int,
+    attrs_per_dimension: int,
+    levels_per_attribute: int = 4,
+    name: str = "synthetic",
+) -> QoSSpec:
+    """A parameterized spec for tests and scaling benchmarks.
+
+    Every attribute is a discrete integer domain with
+    ``levels_per_attribute`` values, best-first ``(L, L-1, ..., 1)``.
+    """
+    if n_dimensions < 1 or attrs_per_dimension < 1 or levels_per_attribute < 1:
+        raise ValueError("synthetic spec parameters must be >= 1")
+    dims = []
+    attrs = []
+    for d in range(n_dimensions):
+        attr_names = tuple(f"attr-{d}-{a}" for a in range(attrs_per_dimension))
+        dims.append(QoSDimension(f"dim-{d}", attr_names))
+        for an in attr_names:
+            values = tuple(range(levels_per_attribute, 0, -1))
+            attrs.append(Attribute(an, DiscreteDomain(ValueType.INTEGER, values)))
+    return QoSSpec(name=name, dimensions=dims, attributes=attrs)
+
+
+def synthetic_request(
+    spec: QoSSpec,
+    acceptable_levels: int | None = None,
+    name: str = "synthetic-request",
+) -> ServiceRequest:
+    """A full-preference request over a :func:`synthetic_spec`.
+
+    Accepts the top ``acceptable_levels`` values of every attribute
+    (default: all of them), most preferred first.
+    """
+    dims = []
+    for dim in spec.dimensions:
+        aps = []
+        for attr_name in dim.attributes:
+            domain = spec.attribute(attr_name).domain
+            values = tuple(domain.values)  # type: ignore[union-attr]
+            if acceptable_levels is not None:
+                values = values[: max(1, acceptable_levels)]
+            aps.append(AttributePreference(attr_name, values))
+        dims.append(DimensionPreference(dim.name, tuple(aps)))
+    return ServiceRequest(spec=spec, dimensions=tuple(dims), name=name)

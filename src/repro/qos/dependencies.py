@@ -1,0 +1,108 @@
+"""Inter-attribute value dependencies (paper: ``Deps``).
+
+The paper defines ``Deps = {Dep_ij}`` with ``Dep_ij = f(Val_ki, Val_kj)`` —
+a set of relations constraining pairs of attribute values. We generalize
+slightly: a :class:`Dependency` is a named predicate over any subset of
+attributes, evaluated against a (partial) value assignment. A dependency is
+*applicable* only when all the attributes it mentions are assigned; partial
+assignments never fail a dependency they cannot yet evaluate.
+
+Example — "24-bit color requires at least 15 fps"::
+
+    Dependency(
+        name="deep-color-needs-fps",
+        attributes=("color depth", "frame rate"),
+        predicate=lambda v: v["color depth"] < 24 or v["frame rate"] >= 15,
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import DependencyError
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A named predicate over attribute values.
+
+    Attributes:
+        name: Human-readable identifier, used in error messages.
+        attributes: The attribute names the predicate reads. The predicate
+            is only evaluated when all of them are present in the
+            assignment under test.
+        predicate: Maps ``{attr_name: value}`` (restricted to
+            ``attributes``) to ``True`` (satisfied) / ``False`` (violated).
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    predicate: Callable[[Mapping[str, Any]], bool] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.attributes) == 0:
+            raise DependencyError(f"dependency {self.name!r} mentions no attributes")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise DependencyError(
+                f"dependency {self.name!r} lists duplicate attributes"
+            )
+
+    def applicable(self, assignment: Mapping[str, Any]) -> bool:
+        """True when every attribute the predicate reads is assigned."""
+        return all(a in assignment for a in self.attributes)
+
+    def satisfied(self, assignment: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate; inapplicable dependencies are satisfied.
+
+        The predicate sees only the attributes it declared, so a buggy
+        predicate cannot silently couple to undeclared attributes.
+        """
+        if not self.applicable(assignment):
+            return True
+        restricted = {a: assignment[a] for a in self.attributes}
+        return bool(self.predicate(restricted))
+
+
+class DependencySet:
+    """The ``Deps`` component of a QoS specification.
+
+    An immutable-by-convention collection of :class:`Dependency` entries
+    with bulk checking helpers.
+    """
+
+    def __init__(self, dependencies: Iterable[Dependency] = ()) -> None:
+        deps = tuple(dependencies)
+        names = [d.name for d in deps]
+        if len(set(names)) != len(names):
+            raise DependencyError("duplicate dependency names")
+        self._deps = deps
+
+    def __iter__(self) -> Iterator[Dependency]:
+        return iter(self._deps)
+
+    def __len__(self) -> int:
+        return len(self._deps)
+
+    def __bool__(self) -> bool:
+        return bool(self._deps)
+
+    def mentioning(self, attribute: str) -> Tuple[Dependency, ...]:
+        """All dependencies whose predicate reads ``attribute``."""
+        return tuple(d for d in self._deps if attribute in d.attributes)
+
+    def violated_by(self, assignment: Mapping[str, Any]) -> Tuple[Dependency, ...]:
+        """Dependencies applicable to ``assignment`` and not satisfied."""
+        return tuple(d for d in self._deps if not d.satisfied(assignment))
+
+    def check(self, assignment: Mapping[str, Any]) -> None:
+        """Raise :class:`~repro.errors.DependencyError` on any violation."""
+        bad = self.violated_by(assignment)
+        if bad:
+            names = ", ".join(d.name for d in bad)
+            raise DependencyError(f"dependency violation(s): {names}")
+
+    def satisfied(self, assignment: Mapping[str, Any]) -> bool:
+        """True when no applicable dependency is violated."""
+        return not self.violated_by(assignment)

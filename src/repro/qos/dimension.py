@@ -1,0 +1,46 @@
+"""QoS dimensions (paper: ``Dim`` + ``DAr``).
+
+A :class:`QoSDimension` is an identifier plus the ordered collection of
+attribute names it owns — the ``DAr : Dim_i -> Attr`` relation. The order
+here is the *specification* order; user-specific importance ordering lives
+in the :class:`~repro.qos.request.ServiceRequest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import QoSSpecError
+
+
+@dataclass(frozen=True)
+class QoSDimension:
+    """A QoS dimension: identifier plus its attributes' names.
+
+    Attributes:
+        name: Dimension identifier (e.g. ``"Video Quality"``).
+        attributes: Names of the attributes belonging to this dimension
+            (``DAr`` image), non-empty and without duplicates.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise QoSSpecError(f"dimension {self.name!r} has no attributes")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise QoSSpecError(
+                f"dimension {self.name!r} lists duplicate attributes: "
+                f"{self.attributes!r}"
+            )
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, attribute_name: str) -> bool:
+        return attribute_name in self.attributes
+
+    def __len__(self) -> int:
+        return len(self.attributes)

@@ -1,0 +1,167 @@
+"""Attribute value domains (paper: ``Val`` / ``AVr``).
+
+Two concrete domains implement the paper's ``Domain`` split:
+
+* :class:`DiscreteDomain` — an *ordered* finite value set. The ordering is
+  the application's quality ordering and provides the **quality index** used
+  by eq. 5 for discrete attributes: position 0 is the best value. This
+  mirrors the bijective domain→integer mapping of Lee et al. [12] that the
+  paper adopts.
+* :class:`ContinuousDomain` — a closed numeric interval ``[lo, hi]``; eq. 5
+  normalizes value differences by the interval span.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence, Union
+
+from repro.errors import DomainError
+from repro.qos.types import DomainKind, ValueType, check_type_domain_combination
+
+
+class DiscreteDomain:
+    """An ordered, finite set of attribute values.
+
+    The order encodes quality: ``values[0]`` is the highest-quality value.
+    E.g. the paper's color-depth domain would be ``(24, 16, 8, 3, 1)`` in
+    best-first order (the paper lists ``{1, 3, 8, 16, 24}`` as the value
+    set; the *order of preference* comes from the request, while the
+    *quality index* comes from this domain ordering).
+
+    Args:
+        value_type: Scalar type of every member.
+        values: Members in best-first order. Must be non-empty and unique.
+    """
+
+    kind = DomainKind.DISCRETE
+
+    def __init__(self, value_type: ValueType, values: Sequence[Any]) -> None:
+        check_type_domain_combination(value_type, self.kind)
+        if len(values) == 0:
+            raise DomainError("discrete domain must be non-empty")
+        coerced = tuple(value_type.coerce(v) for v in values)
+        if len(set(coerced)) != len(coerced):
+            raise DomainError(f"discrete domain has duplicate values: {values!r}")
+        self.value_type = value_type
+        self.values = coerced
+        self._index = {v: i for i, v in enumerate(coerced)}
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            value = self.value_type.coerce(value)
+        except DomainError:
+            return False
+        return value in self._index
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def position(self, value: Any) -> int:
+        """Quality index of ``value``: 0 is best, ``len-1`` is worst.
+
+        This is the ``pos(·)`` of eq. 5.
+        """
+        value = self.value_type.coerce(value)
+        try:
+            return self._index[value]
+        except KeyError:
+            raise DomainError(f"value {value!r} not in discrete domain {self.values!r}")
+
+    def validate(self, value: Any) -> Any:
+        """Coerce and membership-check ``value``; return the coerced value."""
+        value = self.value_type.coerce(value)
+        if value not in self._index:
+            raise DomainError(f"value {value!r} not in discrete domain {self.values!r}")
+        return value
+
+    def span(self) -> float:
+        """``length(Q_k) - 1`` — the position-normalization denominator of
+        eq. 5. For singleton domains the span is defined as 1 so that the
+        (necessarily zero) position difference divides cleanly."""
+        return float(max(len(self.values) - 1, 1))
+
+    def __repr__(self) -> str:
+        return f"DiscreteDomain({self.value_type.value}, {list(self.values)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DiscreteDomain)
+            and other.value_type is self.value_type
+            and other.values == self.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value_type, self.values))
+
+
+class ContinuousDomain:
+    """A closed numeric interval ``[lo, hi]`` of attribute values.
+
+    Args:
+        value_type: INTEGER or FLOAT (strings cannot be continuous).
+        lo: Lower bound (inclusive).
+        hi: Upper bound (inclusive); must satisfy ``hi >= lo``.
+    """
+
+    kind = DomainKind.CONTINUOUS
+
+    def __init__(self, value_type: ValueType, lo: float, hi: float) -> None:
+        check_type_domain_combination(value_type, self.kind)
+        lo = value_type.coerce(lo)
+        hi = value_type.coerce(hi)
+        if hi < lo:
+            raise DomainError(f"continuous domain bounds reversed: [{lo}, {hi}]")
+        self.value_type = value_type
+        self.lo = lo
+        self.hi = hi
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            value = self.value_type.coerce(value)
+        except DomainError:
+            return False
+        return self.lo <= value <= self.hi
+
+    def validate(self, value: Any) -> Any:
+        """Coerce and bounds-check ``value``; return the coerced value."""
+        value = self.value_type.coerce(value)
+        if not (self.lo <= value <= self.hi):
+            raise DomainError(
+                f"value {value!r} outside continuous domain [{self.lo}, {self.hi}]"
+            )
+        return value
+
+    def span(self) -> float:
+        """``max(Q_k) - min(Q_k)`` — the value-normalization denominator of
+        eq. 5. For degenerate single-point intervals the span is 1 (the
+        numerator is necessarily zero)."""
+        width = float(self.hi) - float(self.lo)
+        return width if width > 0 else 1.0
+
+    def clamp(self, value: float) -> Any:
+        """Clamp a numeric value into the domain."""
+        clamped = min(max(value, self.lo), self.hi)
+        if self.value_type is ValueType.INTEGER:
+            return int(round(clamped))
+        return float(clamped)
+
+    def __repr__(self) -> str:
+        return f"ContinuousDomain({self.value_type.value}, [{self.lo}, {self.hi}])"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ContinuousDomain)
+            and other.value_type is self.value_type
+            and other.lo == self.lo
+            and other.hi == self.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value_type, self.lo, self.hi))
+
+
+Domain = Union[DiscreteDomain, ContinuousDomain]
+"""Either concrete domain type (paper: one element of ``Val``)."""

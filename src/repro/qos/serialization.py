@@ -1,0 +1,221 @@
+"""(De)serialization of QoS specifications and service requests.
+
+Converts :class:`~repro.qos.spec.QoSSpec` and
+:class:`~repro.qos.request.ServiceRequest` to and from plain dicts of
+JSON-compatible values, so applications can ship their QoS requirements
+over the (real) wire or keep them in config files.
+
+Limitations: dependency *predicates* are arbitrary Python callables and
+cannot round-trip through JSON. Dependencies serialize by name and
+attribute list only; deserialization requires a ``dependency_registry``
+mapping names back to predicates (a standard approach for user-defined
+constraint hooks). Specs without dependencies round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.errors import QoSSpecError, RequestError
+from repro.qos.attribute import Attribute
+from repro.qos.dependencies import Dependency, DependencySet
+from repro.qos.dimension import QoSDimension
+from repro.qos.domain import ContinuousDomain, DiscreteDomain, Domain
+from repro.qos.request import (
+    AttributePreference,
+    DimensionPreference,
+    PreferenceItem,
+    ServiceRequest,
+    ValueInterval,
+)
+from repro.qos.spec import QoSSpec
+from repro.qos.types import ValueType
+
+PredicateRegistry = Mapping[str, Callable[[Mapping[str, Any]], bool]]
+
+
+# -- domains ----------------------------------------------------------------
+
+
+def domain_to_dict(domain: Domain) -> Dict[str, Any]:
+    """Serialize a value domain."""
+    if isinstance(domain, DiscreteDomain):
+        return {
+            "kind": "discrete",
+            "type": domain.value_type.value,
+            "values": list(domain.values),
+        }
+    if isinstance(domain, ContinuousDomain):
+        return {
+            "kind": "continuous",
+            "type": domain.value_type.value,
+            "lo": domain.lo,
+            "hi": domain.hi,
+        }
+    raise QoSSpecError(f"unknown domain type: {type(domain).__name__}")
+
+
+def domain_from_dict(data: Mapping[str, Any]) -> Domain:
+    """Deserialize a value domain."""
+    try:
+        kind = data["kind"]
+        value_type = ValueType(data["type"])
+    except (KeyError, ValueError) as exc:
+        raise QoSSpecError(f"malformed domain record: {exc}") from None
+    if kind == "discrete":
+        return DiscreteDomain(value_type, tuple(data["values"]))
+    if kind == "continuous":
+        return ContinuousDomain(value_type, data["lo"], data["hi"])
+    raise QoSSpecError(f"unknown domain kind: {kind!r}")
+
+
+# -- specs ----------------------------------------------------------------
+
+
+def spec_to_dict(spec: QoSSpec) -> Dict[str, Any]:
+    """Serialize a complete QoS specification."""
+    return {
+        "name": spec.name,
+        "dimensions": [
+            {"name": d.name, "attributes": list(d.attributes)}
+            for d in spec.dimensions
+        ],
+        "attributes": [
+            {
+                "name": spec.attribute(a).name,
+                "unit": spec.attribute(a).unit,
+                "domain": domain_to_dict(spec.attribute(a).domain),
+            }
+            for a in spec.attribute_names
+        ],
+        "dependencies": [
+            {"name": dep.name, "attributes": list(dep.attributes)}
+            for dep in spec.dependencies
+        ],
+    }
+
+
+def spec_from_dict(
+    data: Mapping[str, Any],
+    dependency_registry: Optional[PredicateRegistry] = None,
+) -> QoSSpec:
+    """Deserialize a QoS specification.
+
+    Args:
+        data: The output of :func:`spec_to_dict`.
+        dependency_registry: name → predicate for each serialized
+            dependency; required iff the record lists dependencies.
+
+    Raises:
+        QoSSpecError: On malformed records or missing predicates.
+    """
+    try:
+        dimensions = tuple(
+            QoSDimension(d["name"], tuple(d["attributes"]))
+            for d in data["dimensions"]
+        )
+        attributes = tuple(
+            Attribute(
+                a["name"],
+                domain_from_dict(a["domain"]),
+                unit=a.get("unit", ""),
+            )
+            for a in data["attributes"]
+        )
+        dep_records = data.get("dependencies", [])
+    except KeyError as exc:
+        raise QoSSpecError(f"malformed spec record: missing {exc}") from None
+
+    deps = []
+    for record in dep_records:
+        name = record["name"]
+        registry = dependency_registry or {}
+        if name not in registry:
+            raise QoSSpecError(
+                f"dependency {name!r} needs a predicate in the registry "
+                f"(predicates are code and cannot be serialized)"
+            )
+        deps.append(
+            Dependency(
+                name=name,
+                attributes=tuple(record["attributes"]),
+                predicate=registry[name],
+            )
+        )
+    return QoSSpec(
+        name=data["name"],
+        dimensions=dimensions,
+        attributes=attributes,
+        dependencies=DependencySet(deps),
+    )
+
+
+# -- requests ----------------------------------------------------------------
+
+
+def _item_to_dict(item: PreferenceItem) -> Any:
+    if isinstance(item, ValueInterval):
+        return {"interval": [item.best, item.worst]}
+    return item
+
+
+def _item_from_dict(data: Any) -> PreferenceItem:
+    if isinstance(data, dict):
+        try:
+            best, worst = data["interval"]
+        except (KeyError, ValueError) as exc:
+            raise RequestError(f"malformed preference item: {data!r}") from None
+        return ValueInterval(best, worst)
+    return data
+
+
+def request_to_dict(request: ServiceRequest) -> Dict[str, Any]:
+    """Serialize a service request (references its spec by name)."""
+    return {
+        "name": request.name,
+        "spec": request.spec.name,
+        "dimensions": [
+            {
+                "dimension": dp.dimension,
+                "attributes": [
+                    {
+                        "attribute": ap.attribute,
+                        "items": [_item_to_dict(i) for i in ap.items],
+                    }
+                    for ap in dp.attributes
+                ],
+            }
+            for dp in request.dimensions
+        ],
+    }
+
+
+def request_from_dict(data: Mapping[str, Any], spec: QoSSpec) -> ServiceRequest:
+    """Deserialize a service request against an already-loaded spec.
+
+    Raises:
+        RequestError: On malformed records or a spec-name mismatch.
+    """
+    if data.get("spec") != spec.name:
+        raise RequestError(
+            f"request targets spec {data.get('spec')!r}, got {spec.name!r}"
+        )
+    try:
+        dimensions = tuple(
+            DimensionPreference(
+                dp["dimension"],
+                tuple(
+                    AttributePreference(
+                        ap["attribute"],
+                        tuple(_item_from_dict(i) for i in ap["items"]),
+                    )
+                    for ap in dp["attributes"]
+                ),
+            )
+            for dp in data["dimensions"]
+        )
+    except KeyError as exc:
+        raise RequestError(f"malformed request record: missing {exc}") from None
+    return ServiceRequest(
+        spec=spec, dimensions=dimensions, name=data.get("name", "request")
+    )

@@ -1,0 +1,159 @@
+"""The complete QoS specification (paper: ``QoS = {Dim,Attr,Val,DAr,AVr,Deps}``).
+
+:class:`QoSSpec` bundles the dimensions, attributes (each carrying its value
+domain, i.e. the ``AVr`` relation), the dimension→attribute relation
+(``DAr``, carried by each dimension), and the dependency set. Construction
+validates the structural rules the paper's formalization implies:
+
+* every attribute referenced by a dimension exists;
+* every attribute belongs to exactly one dimension (``DAr`` partitions);
+* dependency predicates reference only known attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import (
+    QoSSpecError,
+    UnknownAttributeError,
+    UnknownDimensionError,
+)
+from repro.qos.attribute import Attribute
+from repro.qos.dependencies import DependencySet
+from repro.qos.dimension import QoSDimension
+
+
+class QoSSpec:
+    """An application's QoS requirements representation.
+
+    Args:
+        name: Application/spec identifier (e.g. ``"video-streaming"``).
+        dimensions: The ``Dim``/``DAr`` component, in specification order.
+        attributes: The ``Attr``/``AVr`` component; each attribute's
+            ``domain`` is its value set.
+        dependencies: The ``Deps`` component (optional).
+
+    Raises:
+        QoSSpecError: On any structural inconsistency (see module docs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: Iterable[QoSDimension],
+        attributes: Iterable[Attribute],
+        dependencies: Optional[DependencySet] = None,
+    ) -> None:
+        self.name = name
+        self.dimensions: Tuple[QoSDimension, ...] = tuple(dimensions)
+        attrs = tuple(attributes)
+        self.dependencies = dependencies if dependencies is not None else DependencySet()
+
+        if not self.dimensions:
+            raise QoSSpecError(f"spec {name!r} has no dimensions")
+        dim_names = [d.name for d in self.dimensions]
+        if len(set(dim_names)) != len(dim_names):
+            raise QoSSpecError(f"spec {name!r} has duplicate dimension names")
+
+        attr_names = [a.name for a in attrs]
+        if len(set(attr_names)) != len(attr_names):
+            raise QoSSpecError(f"spec {name!r} has duplicate attribute names")
+        self._attributes: Dict[str, Attribute] = {a.name: a for a in attrs}
+        self._dimensions: Dict[str, QoSDimension] = {d.name: d for d in self.dimensions}
+
+        # DAr must reference known attributes and partition them.
+        owner: Dict[str, str] = {}
+        for dim in self.dimensions:
+            for attr_name in dim.attributes:
+                if attr_name not in self._attributes:
+                    raise QoSSpecError(
+                        f"dimension {dim.name!r} references unknown attribute "
+                        f"{attr_name!r}"
+                    )
+                if attr_name in owner:
+                    raise QoSSpecError(
+                        f"attribute {attr_name!r} belongs to both "
+                        f"{owner[attr_name]!r} and {dim.name!r}"
+                    )
+                owner[attr_name] = dim.name
+        orphans = set(self._attributes) - set(owner)
+        if orphans:
+            raise QoSSpecError(
+                f"attributes not assigned to any dimension: {sorted(orphans)!r}"
+            )
+        self._owner = owner
+
+        for dep in self.dependencies:
+            for attr_name in dep.attributes:
+                if attr_name not in self._attributes:
+                    raise QoSSpecError(
+                        f"dependency {dep.name!r} references unknown attribute "
+                        f"{attr_name!r}"
+                    )
+
+    # -- lookups ----------------------------------------------------------
+
+    def dimension(self, name: str) -> QoSDimension:
+        """Look up a dimension by identifier."""
+        try:
+            return self._dimensions[name]
+        except KeyError:
+            raise UnknownDimensionError(name) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by identifier."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise UnknownAttributeError(name) from None
+
+    def dimension_of(self, attribute_name: str) -> QoSDimension:
+        """The dimension owning ``attribute_name`` (``DAr`` preimage)."""
+        if attribute_name not in self._owner:
+            raise UnknownAttributeError(attribute_name)
+        return self._dimensions[self._owner[attribute_name]]
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """All attribute names, in dimension-then-specification order."""
+        return tuple(a for d in self.dimensions for a in d.attributes)
+
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    # -- validation -------------------------------------------------------
+
+    def validate_assignment(self, assignment: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a full attribute→value assignment against the spec.
+
+        Checks domain membership of every value, completeness (every
+        attribute assigned), and all dependencies.
+
+        Returns:
+            The coerced assignment.
+        """
+        coerced: Dict[str, Any] = {}
+        for attr_name, value in assignment.items():
+            coerced[attr_name] = self.attribute(attr_name).validate(value)
+        missing = set(self._attributes) - set(coerced)
+        if missing:
+            raise QoSSpecError(f"assignment missing attributes: {sorted(missing)!r}")
+        self.dependencies.check(coerced)
+        return coerced
+
+    def validate_partial(self, assignment: Mapping[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`validate_assignment` but allows missing attributes.
+
+        Dependencies are only checked where applicable.
+        """
+        coerced: Dict[str, Any] = {}
+        for attr_name, value in assignment.items():
+            coerced[attr_name] = self.attribute(attr_name).validate(value)
+        self.dependencies.check(coerced)
+        return coerced
+
+    def __repr__(self) -> str:
+        dims = ", ".join(self.dimension_names)
+        return f"<QoSSpec {self.name!r} dims=[{dims}]>"

@@ -1,0 +1,58 @@
+"""Value typing for QoS attributes.
+
+The paper types each attribute value set as ``Val = {Type, Domain}`` with
+``Type = {integer, float, string}`` and ``Domain = {continuous, discrete}``.
+These enums encode exactly that, plus the validity rule that string-typed
+values can only live in discrete domains.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import DomainError
+
+
+class ValueType(enum.Enum):
+    """The scalar type of an attribute's values (paper: ``Type``)."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`~repro.errors.DomainError` on a type mismatch.
+
+        Booleans are rejected as integers: ``True`` silently passing as
+        ``1`` hides request bugs.
+        """
+        if self is ValueType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise DomainError(f"expected integer, got {value!r}")
+        elif self is ValueType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise DomainError(f"expected float, got {value!r}")
+        elif self is ValueType.STRING:
+            if not isinstance(value, str):
+                raise DomainError(f"expected string, got {value!r}")
+
+    def coerce(self, value: Any) -> Any:
+        """Validate then normalize (ints stay int, floats become float)."""
+        self.validate(value)
+        if self is ValueType.FLOAT:
+            return float(value)
+        return value
+
+
+class DomainKind(enum.Enum):
+    """Whether an attribute's value set is continuous or discrete."""
+
+    CONTINUOUS = "continuous"
+    DISCRETE = "discrete"
+
+
+def check_type_domain_combination(value_type: ValueType, kind: DomainKind) -> None:
+    """Reject impossible combinations (continuous strings)."""
+    if kind is DomainKind.CONTINUOUS and value_type is ValueType.STRING:
+        raise DomainError("string-typed attributes cannot have continuous domains")

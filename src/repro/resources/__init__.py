@@ -1,0 +1,42 @@
+"""Node resources, admission control, and QoS→resource mapping.
+
+Implements the Section 4 definitions:
+
+* **Resource** — "a limited hardware or software quantity supplied by a
+  specific node … CPU time, memory, I/O bus bandwidth, network bandwidth"
+  (:class:`~repro.resources.kinds.ResourceKind`,
+  :class:`~repro.resources.capacity.Capacity`);
+* **Resource Manager** — "the object that manages a particular resource"
+  with reservation accounting
+  (:class:`~repro.resources.manager.ResourceManager`);
+* **QoS Provider** — "a server that negotiates access to node's resources
+  … contacts the Resource Managers to grant specific resource amounts"
+  (:class:`~repro.resources.provider.QoSProvider`);
+
+plus the :class:`~repro.resources.node.Node` abstraction (capacities,
+position, energy) and the QoS-level→resource-demand mapping of Section 5
+(:mod:`repro.resources.mapping`), which the paper assumes is profiled
+a priori by the application.
+"""
+
+from repro.resources.kinds import ResourceKind
+from repro.resources.capacity import Capacity
+from repro.resources.reservation import Reservation
+from repro.resources.manager import ResourceManager
+from repro.resources.node import Node, NodeClass, NODE_CLASS_PROFILES
+from repro.resources.mapping import DemandModel, LinearDemandModel, TabularDemandModel
+from repro.resources.provider import QoSProvider
+
+__all__ = [
+    "ResourceKind",
+    "Capacity",
+    "Reservation",
+    "ResourceManager",
+    "Node",
+    "NodeClass",
+    "NODE_CLASS_PROFILES",
+    "DemandModel",
+    "LinearDemandModel",
+    "TabularDemandModel",
+    "QoSProvider",
+]

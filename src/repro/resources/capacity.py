@@ -1,0 +1,149 @@
+"""Capacity vectors: typed amounts of resources.
+
+A :class:`Capacity` maps :class:`~repro.resources.kinds.ResourceKind` to a
+non-negative float amount, with vector arithmetic (add, subtract,
+domination tests) used throughout admission control and demand mapping.
+Missing kinds are implicitly zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import ResourceError
+from repro.resources.kinds import ResourceKind
+
+
+class Capacity:
+    """An immutable non-negative resource vector.
+
+    Construct from a mapping or keyword-style pairs::
+
+        Capacity({ResourceKind.CPU: 100.0, ResourceKind.MEMORY: 256.0})
+
+    Arithmetic never produces negative components unless explicitly using
+    :meth:`minus_clamped`; plain subtraction raises when it would go
+    negative, catching accounting bugs early.
+    """
+
+    __slots__ = ("_amounts",)
+
+    def __init__(self, amounts: Mapping[ResourceKind, float] | None = None) -> None:
+        clean: Dict[ResourceKind, float] = {}
+        if amounts:
+            for kind, amount in amounts.items():
+                if not isinstance(kind, ResourceKind):
+                    raise ResourceError(f"capacity key must be ResourceKind, got {kind!r}")
+                amount = float(amount)
+                if amount < 0:
+                    raise ResourceError(f"negative capacity for {kind}: {amount}")
+                if amount > 0:
+                    clean[kind] = amount
+        self._amounts: Dict[ResourceKind, float] = clean
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Capacity":
+        """The all-zero capacity vector."""
+        return cls()
+
+    @classmethod
+    def of(cls, **kinds: float) -> "Capacity":
+        """Build from lowercase kind names: ``Capacity.of(cpu=10, memory=64)``."""
+        mapping: Dict[ResourceKind, float] = {}
+        for name, amount in kinds.items():
+            try:
+                kind = ResourceKind(name)
+            except ValueError:
+                raise ResourceError(f"unknown resource kind name: {name!r}") from None
+            mapping[kind] = amount
+        return cls(mapping)
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, kind: ResourceKind) -> float:
+        """Amount of ``kind`` (0.0 when absent)."""
+        return self._amounts.get(kind, 0.0)
+
+    def kinds(self) -> Tuple[ResourceKind, ...]:
+        """Resource kinds with strictly positive amounts."""
+        return tuple(self._amounts)
+
+    def items(self) -> Iterator[Tuple[ResourceKind, float]]:
+        return iter(self._amounts.items())
+
+    @property
+    def is_zero(self) -> bool:
+        return not self._amounts
+
+    def total(self) -> float:
+        """Sum over all components (used only for coarse load heuristics)."""
+        return sum(self._amounts.values())
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Capacity") -> "Capacity":
+        out = dict(self._amounts)
+        for kind, amount in other._amounts.items():
+            out[kind] = out.get(kind, 0.0) + amount
+        return Capacity(out)
+
+    def __sub__(self, other: "Capacity") -> "Capacity":
+        out = dict(self._amounts)
+        for kind, amount in other._amounts.items():
+            remaining = out.get(kind, 0.0) - amount
+            if remaining < -1e-9:
+                raise ResourceError(
+                    f"capacity underflow on {kind}: {out.get(kind, 0.0)} - {amount}"
+                )
+            out[kind] = max(remaining, 0.0)
+        return Capacity(out)
+
+    def minus_clamped(self, other: "Capacity") -> "Capacity":
+        """Subtraction that floors each component at zero."""
+        out = dict(self._amounts)
+        for kind, amount in other._amounts.items():
+            out[kind] = max(out.get(kind, 0.0) - amount, 0.0)
+        return Capacity(out)
+
+    def scaled(self, factor: float) -> "Capacity":
+        """Multiply every component by a non-negative factor."""
+        if factor < 0:
+            raise ResourceError(f"negative scale factor: {factor}")
+        return Capacity({k: v * factor for k, v in self._amounts.items()})
+
+    # -- comparisons ------------------------------------------------------------
+
+    def covers(self, demand: "Capacity", slack: float = 1e-9) -> bool:
+        """True when every component of ``demand`` fits within ``self``."""
+        return all(
+            self.get(kind) + slack >= amount for kind, amount in demand._amounts.items()
+        )
+
+    def utilization_of(self, used: "Capacity") -> float:
+        """Max component-wise used/capacity ratio (bottleneck utilization).
+
+        Components where this vector is zero but usage is positive yield
+        ``inf``; an all-zero usage yields 0.0.
+        """
+        worst = 0.0
+        for kind, amount in used._amounts.items():
+            cap = self.get(kind)
+            if cap <= 0.0:
+                return float("inf")
+            worst = max(worst, amount / cap)
+        return worst
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Capacity):
+            return NotImplemented
+        kinds = set(self._amounts) | set(other._amounts)
+        return all(abs(self.get(k) - other.get(k)) <= 1e-9 for k in kinds)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k.value, round(v, 9)) for k, v in self._amounts.items())))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k.value}={v:g}" for k, v in sorted(self._amounts.items(), key=lambda kv: kv[0].value))
+        return f"Capacity({parts})"

@@ -1,0 +1,43 @@
+"""Resource kinds (paper Section 4: the ``Resource`` definition).
+
+The paper enumerates CPU time, memory, I/O bus bandwidth and network
+bandwidth; we add ENERGY because the paper's motivation (Sections 1 and 7)
+repeatedly cites battery drain as a reason to offload work.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ResourceKind(enum.Enum):
+    """A category of limited hardware/software quantity on a node."""
+
+    CPU = "cpu"
+    """CPU time, in MIPS-like abstract work units per second."""
+
+    MEMORY = "memory"
+    """Memory, in MB."""
+
+    BUS_BANDWIDTH = "bus_bandwidth"
+    """I/O bus bandwidth, in MB/s."""
+
+    NET_BANDWIDTH = "net_bandwidth"
+    """Network interface bandwidth, in kb/s."""
+
+    ENERGY = "energy"
+    """Battery energy budget, in joule-like units (drawn down over time)."""
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Kinds whose consumption is a *rate* held for the task's duration
+#: (reserved, then released), as opposed to ENERGY which is destructively
+#: consumed.
+RATE_KINDS = (
+    ResourceKind.CPU,
+    ResourceKind.MEMORY,
+    ResourceKind.BUS_BANDWIDTH,
+    ResourceKind.NET_BANDWIDTH,
+)

@@ -1,0 +1,149 @@
+"""QoS-level → resource-demand mapping (paper Section 5).
+
+*"Each individual QoS Provider must map QoS constraints to resource
+requirements … This mapping is inherently difficult. To address this
+problem we (for now) assume that applications make a reasonable accurate
+analysis of their resource requirements, made a priori through resource
+monitoring tools."*
+
+We implement that a-priori profile as a :class:`DemandModel`: a function
+from a concrete attribute→value assignment to a
+:class:`~repro.resources.capacity.Capacity` demand vector. Two concrete
+models are provided:
+
+* :class:`LinearDemandModel` — demand grows linearly with a numeric score
+  of each attribute value (a good fit for frame rate × resolution style
+  costs and easy to calibrate);
+* :class:`TabularDemandModel` — fully explicit per-value tables, for
+  attributes whose cost is irregular (e.g. codec choice).
+
+Both guarantee **monotonicity in quality** when configured with
+non-negative contributions: degrading an attribute never increases
+demand, which the Section 5 heuristic implicitly relies on (degradation
+must help schedulability).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import MappingError
+from repro.resources.capacity import Capacity
+
+
+class DemandModel(abc.ABC):
+    """Maps a quality assignment (attribute → concrete value) to demand."""
+
+    @abc.abstractmethod
+    def demand(self, values: Mapping[str, Any]) -> Capacity:
+        """Resource demand of serving the task at the given quality."""
+
+    def __call__(self, values: Mapping[str, Any]) -> Capacity:
+        return self.demand(values)
+
+
+class LinearDemandModel(DemandModel):
+    """``demand = base + Σ_attr per_unit[attr] * score(value)``.
+
+    Args:
+        base: Fixed overhead demand, independent of quality.
+        per_unit: Per-attribute demand per unit of value score. Attributes
+            absent here contribute nothing.
+        value_scores: Optional per-attribute mapping of non-numeric values
+            to scores. Numeric values score as themselves when their
+            attribute has no explicit table.
+
+    Raises:
+        MappingError: At demand time, if a non-numeric value has no score.
+    """
+
+    def __init__(
+        self,
+        base: Capacity,
+        per_unit: Mapping[str, Capacity],
+        value_scores: Optional[Mapping[str, Mapping[Any, float]]] = None,
+    ) -> None:
+        self.base = base
+        self.per_unit: Dict[str, Capacity] = dict(per_unit)
+        self.value_scores: Dict[str, Dict[Any, float]] = {
+            attr: dict(scores) for attr, scores in (value_scores or {}).items()
+        }
+
+    def score(self, attribute: str, value: Any) -> float:
+        """Numeric score of ``value`` for ``attribute``."""
+        table = self.value_scores.get(attribute)
+        if table is not None:
+            try:
+                return float(table[value])
+            except KeyError:
+                raise MappingError(
+                    f"no score for value {value!r} of attribute {attribute!r}"
+                ) from None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MappingError(
+                f"attribute {attribute!r} value {value!r} is not numeric and "
+                f"has no score table"
+            )
+        return float(value)
+
+    def demand(self, values: Mapping[str, Any]) -> Capacity:
+        total = self.base
+        for attribute, unit in self.per_unit.items():
+            if attribute not in values:
+                continue
+            s = self.score(attribute, values[attribute])
+            if s < 0:
+                raise MappingError(
+                    f"negative score {s} for {attribute!r}={values[attribute]!r}"
+                )
+            total = total + unit.scaled(s)
+        return total
+
+
+class TabularDemandModel(DemandModel):
+    """``demand = base + Σ_attr table[attr][value]``.
+
+    Every attribute in ``tables`` must have an entry for the value it is
+    asked about; attributes without a table contribute nothing.
+    """
+
+    def __init__(
+        self,
+        base: Capacity,
+        tables: Mapping[str, Mapping[Any, Capacity]],
+    ) -> None:
+        self.base = base
+        self.tables: Dict[str, Dict[Any, Capacity]] = {
+            attr: dict(entries) for attr, entries in tables.items()
+        }
+
+    def demand(self, values: Mapping[str, Any]) -> Capacity:
+        total = self.base
+        for attribute, table in self.tables.items():
+            if attribute not in values:
+                continue
+            value = values[attribute]
+            try:
+                total = total + table[value]
+            except KeyError:
+                raise MappingError(
+                    f"no demand entry for value {value!r} of attribute "
+                    f"{attribute!r}"
+                ) from None
+        return total
+
+
+class CompositeDemandModel(DemandModel):
+    """Sum of several demand models (e.g. linear CPU + tabular codec)."""
+
+    def __init__(self, *models: DemandModel) -> None:
+        if not models:
+            raise MappingError("composite demand model needs at least one part")
+        self.models = tuple(models)
+
+    def demand(self, values: Mapping[str, Any]) -> Capacity:
+        total = Capacity.zero()
+        for model in self.models:
+            total = total + model.demand(values)
+        return total

@@ -1,0 +1,113 @@
+"""QoS Providers: the per-node negotiation endpoint over resources.
+
+Paper Section 4: *"QoS Provider: a server that negotiates access to
+node's resources. Rather than reserving resources directly it will contact
+the Resource Managers to grant specific resource amounts to the requesting
+task."*
+
+:class:`QoSProvider` is the resource-side half of that role: it answers
+schedulability questions ("can this node serve this task at this quality
+level, given what is already reserved?") and performs the actual
+reservations when a proposal wins. The preference-degradation logic that
+*uses* these answers lives in :mod:`repro.core.formulation`; the
+agent-protocol plumbing lives in :mod:`repro.agents.provider`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import CapacityExceededError, MappingError
+from repro.resources.capacity import Capacity
+from repro.resources.kinds import ResourceKind
+from repro.resources.mapping import DemandModel
+from repro.resources.node import Node
+from repro.resources.reservation import Reservation
+
+
+class QoSProvider:
+    """Negotiates access to one node's resources.
+
+    Args:
+        node: The node whose Resource Manager this provider fronts.
+    """
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    # -- schedulability ------------------------------------------------------
+
+    def can_serve(self, demand: Capacity) -> bool:
+        """Whether the node can admit ``demand`` right now.
+
+        A dead node, an unwilling node, or a node whose remaining battery
+        cannot cover the demand's ENERGY component all answer ``False``.
+        """
+        if not self.node.alive or not self.node.willing:
+            return False
+        energy_needed = demand.get(ResourceKind.ENERGY)
+        if energy_needed > self.node.battery:
+            return False
+        return self.node.manager.can_admit(demand)
+
+    def can_serve_at(self, model: DemandModel, values: Mapping[str, Any]) -> bool:
+        """Whether the node can serve a task at quality ``values``.
+
+        Unmappable levels (``MappingError``) are simply not servable.
+        """
+        try:
+            demand = model.demand(values)
+        except MappingError:
+            return False
+        return self.can_serve(demand)
+
+    def headroom(self) -> Capacity:
+        """Currently unreserved capacity."""
+        return self.node.manager.available
+
+    # -- reservation ------------------------------------------------------------
+
+    def reserve_for(
+        self,
+        holder: str,
+        model: DemandModel,
+        values: Mapping[str, Any],
+        now: float = 0.0,
+    ) -> Tuple[Reservation, Capacity]:
+        """Reserve the resources a task needs at quality ``values``.
+
+        The ENERGY component is drawn from the battery immediately (task
+        admission commits the energy); rate components are held by the
+        Resource Manager until release.
+
+        Returns:
+            The reservation receipt and the demand that was admitted.
+
+        Raises:
+            CapacityExceededError: If the demand no longer fits (e.g. a
+                concurrent award consumed the headroom between proposal
+                and award — the classic negotiation race).
+        """
+        demand = model.demand(values)
+        energy = demand.get(ResourceKind.ENERGY)
+        if energy > self.node.battery:
+            raise CapacityExceededError(
+                f"node {self.node.node_id!r}: battery {self.node.battery:.1f} J "
+                f"cannot cover demand {energy:.1f} J"
+            )
+        reservation = self.node.manager.reserve(holder, demand, now)
+        if energy > 0:
+            self.node.consume_energy(energy)
+        return reservation, demand
+
+    def release(self, reservation: Reservation, now: float = 0.0) -> None:
+        """Release a previously granted reservation (energy is not
+        refunded — it was physically spent)."""
+        self.node.manager.release(reservation, now)
+
+    def release_holder(self, holder: str, now: float = 0.0) -> int:
+        """Release all reservations held by ``holder``."""
+        return self.node.manager.release_holder(holder, now)
+
+    def __repr__(self) -> str:
+        return f"<QoSProvider node={self.node.node_id!r}>"

@@ -1,0 +1,64 @@
+"""Reservation records.
+
+A :class:`Reservation` is the manager-issued receipt for an admitted
+resource grant: what was granted, to whom, when, and whether it is still
+live. Managers hand these out from
+:meth:`repro.resources.manager.ResourceManager.reserve` and take them back
+in :meth:`~repro.resources.manager.ResourceManager.release`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resources.capacity import Capacity
+
+_reservation_ids = itertools.count(1)
+
+
+@dataclass
+class Reservation:
+    """A live (or released) resource grant.
+
+    Attributes:
+        rid: Unique reservation id (process-wide counter).
+        holder: Identifier of the task/agent holding the grant.
+        amounts: The granted resource vector.
+        granted_at: Simulated time of admission.
+        released_at: Simulated time of release, or ``None`` while live.
+        expires_at: Optional lease expiry. A reservation whose lease has
+            lapsed is reclaimed by
+            :meth:`~repro.resources.manager.ResourceManager.release_expired`
+            — the defence against *dangling grants*: a provider that
+            reserved on an AWARD whose CONFIRM was lost would otherwise
+            hold the resources forever.
+    """
+
+    holder: str
+    amounts: Capacity
+    granted_at: float
+    rid: int = field(default_factory=lambda: next(_reservation_ids))
+    released_at: Optional[float] = None
+    expires_at: Optional[float] = None
+
+    @property
+    def live(self) -> bool:
+        """Whether the grant is still held."""
+        return self.released_at is None
+
+    def expired(self, now: float) -> bool:
+        """Whether the lease has lapsed (never true for untimed grants)."""
+        return self.live and self.expires_at is not None and now >= self.expires_at
+
+    def renew(self, until: float) -> None:
+        """Extend the lease (e.g. when the task actually starts running)."""
+        if not self.live:
+            raise ValueError(f"cannot renew released reservation #{self.rid}")
+        self.expires_at = until
+
+    def __repr__(self) -> str:
+        state = "live" if self.live else f"released@{self.released_at}"
+        lease = f" lease<={self.expires_at}" if self.expires_at is not None else ""
+        return f"<Reservation #{self.rid} {self.holder!r} {self.amounts!r} {state}{lease}>"

@@ -1,0 +1,16 @@
+"""Services and tasks.
+
+Paper Section 4.1: *"There will be several services to be executed, each
+one with a set (for now) of independent tasks T. Each service has specific
+QoS constraints, defined by the user."* A :class:`~repro.services.task.Task`
+couples a QoS request with the a-priori resource-demand profile of
+Section 5; a :class:`~repro.services.service.Service` groups independent
+tasks. :mod:`repro.services.workload` generates the multimedia workloads
+the paper's introduction motivates.
+"""
+
+from repro.services.task import Task
+from repro.services.service import Service
+from repro.services import workload
+
+__all__ = ["Task", "Service", "workload"]

@@ -1,0 +1,113 @@
+"""Services: user-facing bundles of tasks, optionally with precedence.
+
+Paper Section 4.1: each service has "a set **(for now)** of independent
+tasks". The default here is exactly that — no inter-task precedence, the
+coalition may execute everything concurrently. The parenthetical invites
+the extension: an optional precedence DAG (``precedence`` edges) that the
+operation phase honours, so pipelines like *fetch → decode → render* can
+be allocated across a coalition and executed in order (experiment E14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.services.task import Task
+
+
+@dataclass(frozen=True)
+class Service:
+    """A named set of tasks requested together.
+
+    Attributes:
+        name: Service identifier (also used as the negotiation session id).
+        tasks: The tasks, allocation order = tuple order.
+        requester: Node id of the user's device (negotiation organizer
+            runs there; also the data source/sink for transfers).
+        precedence: Optional ``(predecessor_id, successor_id)`` edges. A
+            task starts executing only after all its predecessors have
+            completed. Empty (the default) reproduces the paper's
+            independent-task model. The edge set must be acyclic and
+            reference only this service's task ids.
+    """
+
+    name: str
+    tasks: Tuple[Task, ...]
+    requester: str
+    precedence: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError(f"service {self.name!r} has no tasks")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"service {self.name!r} has duplicate task ids")
+        id_set = set(ids)
+        for pred, succ in self.precedence:
+            if pred not in id_set or succ not in id_set:
+                raise ValueError(
+                    f"service {self.name!r}: precedence edge ({pred!r}, "
+                    f"{succ!r}) references unknown task ids"
+                )
+            if pred == succ:
+                raise ValueError(
+                    f"service {self.name!r}: self-loop on {pred!r}"
+                )
+        if self.precedence and self._has_cycle():
+            raise ValueError(f"service {self.name!r}: precedence is cyclic")
+
+    def _has_cycle(self) -> bool:
+        adjacency: Dict[str, List[str]] = {}
+        for pred, succ in self.precedence:
+            adjacency.setdefault(pred, []).append(succ)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {t.task_id: WHITE for t in self.tasks}
+
+        def visit(node: str) -> bool:
+            color[node] = GRAY
+            for nxt in adjacency.get(node, ()):
+                if color[nxt] == GRAY:
+                    return True
+                if color[nxt] == WHITE and visit(nxt):
+                    return True
+            color[node] = BLACK
+            return False
+
+        return any(color[t] == WHITE and visit(t) for t in list(color))
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task(self, task_id: str) -> Task:
+        for t in self.tasks:
+            if t.task_id == task_id:
+                return t
+        raise KeyError(f"no task {task_id!r} in service {self.name!r}")
+
+    def predecessors(self, task_id: str) -> Tuple[str, ...]:
+        """Ids of tasks that must complete before ``task_id`` starts."""
+        self.task(task_id)  # existence check
+        return tuple(p for p, s in self.precedence if s == task_id)
+
+    def successors(self, task_id: str) -> Tuple[str, ...]:
+        """Ids of tasks waiting on ``task_id``."""
+        self.task(task_id)
+        return tuple(s for p, s in self.precedence if p == task_id)
+
+    def critical_path_length(self) -> float:
+        """Longest duration-weighted path through the precedence DAG —
+        the makespan lower bound under unlimited parallelism."""
+        memo: Dict[str, float] = {}
+
+        def finish(tid: str) -> float:
+            if tid not in memo:
+                preds = self.predecessors(tid)
+                start = max((finish(p) for p in preds), default=0.0)
+                memo[tid] = start + self.task(tid).duration
+            return memo[tid]
+
+        return max(finish(t.task_id) for t in self.tasks)

@@ -1,0 +1,67 @@
+"""Tasks: the unit of allocation.
+
+A task is what one coalition member executes. It bundles:
+
+* the user's :class:`~repro.qos.request.ServiceRequest` (QoS constraints
+  ``Q_i`` with their preference orders);
+* the :class:`~repro.resources.mapping.DemandModel` profiling resource
+  needs per quality level (the Section 5 a-priori analysis);
+* the data-movement profile: input/output sizes, which drive the
+  communication cost of executing the task remotely (the paper's
+  "processing on the server may require additional data communication").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.qos.levels import DegradationLadder
+from repro.qos.request import ServiceRequest
+from repro.resources.capacity import Capacity
+from repro.resources.mapping import DemandModel
+
+_task_seq = itertools.count(1)
+
+
+@dataclass
+class Task:
+    """One independently allocatable unit of work.
+
+    Attributes:
+        task_id: Unique identifier.
+        request: QoS constraints and user preferences for this task.
+        demand_model: Quality level → resource demand profile.
+        input_kb: Data shipped to the executing node before it can start.
+        output_kb: Data shipped back on completion.
+        duration: Nominal execution time in simulated seconds (resources
+            stay reserved for this long during the operation phase).
+    """
+
+    task_id: str
+    request: ServiceRequest
+    demand_model: DemandModel
+    input_kb: float = 10.0
+    output_kb: float = 10.0
+    duration: float = 10.0
+
+    @classmethod
+    def fresh_id(cls, prefix: str = "task") -> str:
+        """Generate a unique task id."""
+        return f"{prefix}-{next(_task_seq)}"
+
+    def ladder(self, float_steps: int = 8) -> DegradationLadder:
+        """The degradation ladder of this task's request."""
+        return DegradationLadder.from_request(self.request, float_steps)
+
+    def demand_at(self, values: Mapping[str, Any]) -> Capacity:
+        """Resource demand of serving this task at quality ``values``."""
+        return self.demand_model.demand(values)
+
+    def transfer_kb(self) -> float:
+        """Total data moved when the task executes remotely."""
+        return self.input_kb + self.output_kb
+
+    def __repr__(self) -> str:
+        return f"<Task {self.task_id!r} request={self.request.name!r}>"

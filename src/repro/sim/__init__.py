@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate everything else runs on: a deterministic,
+seedable discrete-event engine with coroutine-style processes, named RNG
+streams, structured tracing, and time-series monitors.
+
+The kernel is deliberately small and dependency-free. Determinism is a hard
+requirement for a reproduction: two runs with the same seed must produce
+identical traces, so simultaneous events are totally ordered by
+``(time, priority, sequence number)``.
+
+Quick example::
+
+    from repro.sim import Engine
+
+    eng = Engine(seed=42)
+
+    def hello(now):
+        print(f"hello at t={now}")
+
+    eng.schedule(5.0, hello)
+    eng.run(until=10.0)
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventHandle, Priority
+from repro.sim.process import Process, Timeout, Waiter, sleep
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.monitor import Monitor, TimeSeries
+
+__all__ = [
+    "Engine",
+    "Event",
+    "EventHandle",
+    "Priority",
+    "Process",
+    "Timeout",
+    "Waiter",
+    "sleep",
+    "RngRegistry",
+    "TraceRecord",
+    "Tracer",
+    "Monitor",
+    "TimeSeries",
+]

@@ -1,0 +1,131 @@
+"""Time-series probes for simulation state.
+
+:class:`TimeSeries` is an append-only ``(time, value)`` sequence with
+step-function semantics (the value holds until the next sample), plus the
+time-weighted statistics experiments need. :class:`Monitor` periodically
+samples a callable on the engine clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+
+
+class TimeSeries:
+    """Append-only time series with step-function semantics.
+
+    Samples must be appended in non-decreasing time order.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Add a sample; ``time`` must not precede the previous sample."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic sample: t={time} after t={self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> Sequence[float]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def last(self) -> float:
+        """Most recent value."""
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-function evaluation: the last sample at or before ``time``."""
+        if not self._times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        idx = int(np.searchsorted(self._times, time, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self._values[idx]
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean over [first sample, ``until``].
+
+        With a single sample the average is that sample's value.
+        """
+        if not self._times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        t = np.asarray(self._times)
+        v = np.asarray(self._values)
+        end = float(until) if until is not None else float(t[-1])
+        if end < t[0]:
+            raise ValueError("'until' precedes the first sample")
+        if end == t[0] or len(t) == 1:
+            return float(v[0])
+        # Durations each value holds, capped at `end`.
+        bounds = np.append(t, end)
+        holds = np.clip(np.diff(bounds), 0.0, None)
+        keep = bounds[:-1] <= end
+        total = holds[keep].sum()
+        if total == 0.0:
+            return float(v[-1])
+        return float(np.dot(holds[keep], v[keep]) / total)
+
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return float(np.max(self._values))
+
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return float(np.min(self._values))
+
+
+class Monitor:
+    """Samples ``probe()`` every ``period`` on an engine, into a TimeSeries.
+
+    Sampling runs at :class:`~repro.sim.events.Priority.MONITOR` so it sees
+    the settled state at each instant.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        probe: Callable[[], float],
+        period: float,
+        name: str = "",
+        start: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("monitor period must be positive")
+        self.engine = engine
+        self.probe = probe
+        self.period = period
+        self.series = TimeSeries(name=name)
+        self._stopped = False
+        engine.schedule(max(0.0, start - engine.now), self._tick, priority=Priority.MONITOR)
+
+    def _tick(self, now: float) -> None:
+        if self._stopped:
+            return
+        self.series.append(now, float(self.probe()))
+        self.engine.schedule(self.period, self._tick, priority=Priority.MONITOR)
+
+    def stop(self) -> None:
+        """Stop future sampling (already-queued tick is discarded on fire)."""
+        self._stopped = True

@@ -1,0 +1,172 @@
+"""Coroutine-style simulated processes.
+
+A :class:`Process` wraps a Python generator. The generator ``yield``\\ s
+*wait requests* — :class:`Timeout` to sleep for simulated time, or
+:class:`Waiter` to block until another component signals it — and the
+process scheduler resumes it when the request completes. This gives agent
+code a natural sequential style on top of the event-driven engine::
+
+    def worker(proc):
+        yield Timeout(1.0)            # sleep 1 simulated second
+        reply = yield some_waiter     # block until triggered
+        ...
+
+    Process(engine, worker)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import EventHandle, Priority
+
+
+class Timeout:
+    """Wait request: resume the process after ``delay`` simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if not (delay >= 0.0):
+            raise SimulationError(f"Timeout delay must be >= 0, got {delay!r}")
+        self.delay = float(delay)
+
+
+def sleep(delay: float) -> Timeout:
+    """Alias for ``Timeout(delay)`` reading naturally in process bodies."""
+    return Timeout(delay)
+
+
+class Waiter:
+    """One-shot synchronization point between a process and the outside.
+
+    A process yields the waiter to block; any other code calls
+    :meth:`trigger` (optionally with a value) to resume it. Triggering
+    before the process waits is allowed — the value is latched and the
+    process resumes immediately when it does wait.
+    """
+
+    __slots__ = ("_engine", "_process", "_value", "_triggered", "_consumed")
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._process: Optional["Process"] = None
+        self._value: Any = None
+        self._triggered = False
+        self._consumed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def trigger(self, value: Any = None) -> None:
+        """Resume the waiting process (or latch the value until it waits)."""
+        if self._triggered:
+            raise SimulationError("Waiter already triggered (one-shot)")
+        self._triggered = True
+        self._value = value
+        if self._process is not None:
+            proc, self._process = self._process, None
+            self._engine.schedule(
+                0.0, lambda now: proc._resume(self._take()), priority=Priority.DELIVERY
+            )
+
+    def _attach(self, process: "Process") -> None:
+        if self._process is not None:
+            raise SimulationError("Waiter already awaited by another process")
+        if self._triggered:
+            self._engine.schedule(
+                0.0,
+                lambda now: process._resume(self._take()),
+                priority=Priority.DELIVERY,
+            )
+        else:
+            self._process = process
+
+    def _take(self) -> Any:
+        if self._consumed:
+            raise SimulationError("Waiter value already consumed")
+        self._consumed = True
+        return self._value
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """Runs a generator as a simulated process.
+
+    Args:
+        engine: The engine providing the clock.
+        body: Either a generator object, or a callable taking this process
+            and returning a generator (``lambda proc: gen(...)`` style).
+        name: Optional label for tracing.
+
+    The generator may yield:
+        * :class:`Timeout` — resume after simulated delay;
+        * :class:`Waiter` — resume when triggered, receiving the value.
+
+    When the generator returns, :attr:`done` becomes ``True`` and
+    :attr:`result` holds its return value. Uncaught exceptions propagate
+    out of the engine's ``run()`` (fail fast: a crashed agent is a bug).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        body: ProcessBody | Callable[["Process"], ProcessBody],
+        name: str = "",
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        if callable(body):
+            self._gen: ProcessBody = body(self)
+        else:
+            self._gen = body
+        self._pending: Optional[EventHandle] = None
+        # Start on the next engine dispatch at the current time.
+        engine.schedule(0.0, lambda now: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            request = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return
+        self._dispatch(request)
+
+    def _dispatch(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self._pending = self.engine.schedule(
+                request.delay, lambda now: self._resume(None), priority=Priority.TIMER
+            )
+        elif isinstance(request, Waiter):
+            request._attach(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request: {request!r}"
+            )
+
+    def interrupt(self, value: Any = None) -> None:
+        """Cancel a pending Timeout and resume the process immediately.
+
+        Only valid while the process is blocked on a :class:`Timeout`.
+        """
+        if self.done:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._pending is None or self._pending.cancelled:
+            raise SimulationError("process is not blocked on a Timeout")
+        self._pending.cancel()
+        self._pending = None
+        self.engine.schedule(0.0, lambda now: self._resume(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,61 @@
+"""Named, seeded random-number streams.
+
+Reproducibility discipline: every stochastic component draws from its own
+*named* stream derived deterministically from the master seed, so adding a
+new random consumer never perturbs the draws seen by existing ones. This is
+the standard trick for simulation variance reduction and regression-stable
+experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master: int, name: str) -> int:
+    """Derive a 63-bit child seed from a master seed and a stream name.
+
+    Uses SHA-256 so the mapping is stable across Python versions and
+    processes (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(f"{master}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`numpy.random.Generator` streams.
+
+    Example::
+
+        rng = RngRegistry(seed=42)
+        mobility = rng.stream("mobility")
+        workload = rng.stream("workload")
+        # adding rng.stream("new-feature") later never changes the above
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the (cached) generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.seed, name))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose master seed is derived from ``name``.
+
+        Useful for per-replication registries in parameter sweeps.
+        """
+        return RngRegistry(derive_seed(self.seed, f"fork:{name}"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RngRegistry seed={self.seed} streams={sorted(self._streams)}>"

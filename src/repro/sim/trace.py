@@ -1,0 +1,89 @@
+"""Structured event tracing.
+
+Components emit :class:`TraceRecord` entries through a shared
+:class:`Tracer`. Traces serve three purposes: debugging, test assertions
+(e.g. "exactly one AWARD message per task"), and feeding the metrics layer
+without coupling components to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time: Simulated time of the event.
+        category: Coarse grouping, e.g. ``"net"``, ``"negotiation"``.
+        event: Event name within the category, e.g. ``"broadcast"``.
+        data: Free-form payload (kept small; values should be printable).
+    """
+
+    time: float
+    category: str
+    event: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.time:12.6f}] {self.category}/{self.event} {kv}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered.
+
+    Args:
+        enabled: When ``False`` all emissions are dropped (zero overhead
+            beyond one attribute check).
+        categories: When given, only these categories are recorded.
+        sink: Optional callable invoked with each record as it is emitted
+            (e.g. ``print`` for live debugging).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[set[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.categories = categories
+        self.sink = sink
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, category: str, event: str, **data: Any) -> None:
+        """Record one trace entry (subject to filters)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        record = TraceRecord(time=time, category=category, event=event, data=data)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def filter(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given category and/or event name."""
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            yield rec
+
+    def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        """Number of records matching the filter."""
+        return sum(1 for _ in self.filter(category, event))
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

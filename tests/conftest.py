@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.radio import DiscRadio
+from repro.network.topology import Topology
+from repro.qos import catalog
+from repro.resources.node import Node, NodeClass
+from repro.resources.provider import QoSProvider
+from repro.services import workload
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine(seed=1234)
+
+
+@pytest.fixture
+def streaming_spec():
+    return catalog.video_streaming_spec()
+
+
+@pytest.fixture
+def surveillance_request():
+    return catalog.surveillance_request()
+
+
+@pytest.fixture
+def movie_request():
+    return catalog.high_quality_streaming_request()
+
+
+@pytest.fixture
+def small_cluster():
+    """A deterministic 4-node line-of-sight cluster: phone requester at
+    the center, a PDA and two laptops within 50 m."""
+    nodes = [
+        Node("requester", NodeClass.PHONE, position=(50.0, 50.0)),
+        Node("pda", NodeClass.PDA, position=(60.0, 50.0)),
+        Node("lap1", NodeClass.LAPTOP, position=(40.0, 50.0)),
+        Node("lap2", NodeClass.LAPTOP, position=(50.0, 70.0)),
+    ]
+    topology = Topology(nodes, DiscRadio(range_m=100.0))
+    providers = {n.node_id: QoSProvider(n) for n in nodes}
+    return topology, providers, nodes
+
+
+@pytest.fixture
+def movie_service():
+    return workload.movie_playback_service(requester="requester")
+
+
+@pytest.fixture
+def surveillance_service():
+    return workload.surveillance_service(requester="requester")

@@ -1,0 +1,127 @@
+"""Tests for the CLI runner, evaluator options in negotiation, and
+miscellaneous API details."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import ProposalEvaluator, WeightScheme
+from repro.core.negotiation import negotiate
+from repro.core.proposal import Proposal
+from repro.core.reward import ConstantPenalty, QuadraticPenalty
+from repro.experiments.__main__ import main as cli_main
+from repro.qos import catalog
+from repro.qos.catalog import COLOR_DEPTH, FRAME_RATE, SAMPLE_BITS, SAMPLING_RATE
+from repro.services import workload
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert cli_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "E13" in out
+
+
+def test_cli_unknown_suite(capsys):
+    assert cli_main(["E99"]) == 2
+    assert "unknown suite" in capsys.readouterr().err
+
+
+def test_cli_runs_selected_suite(capsys):
+    assert cli_main(["--quick", "--seeds", "2", "E2"]) == 0
+    out = capsys.readouterr().out
+    assert "E2 — evaluator selection quality" in out
+
+
+# -- evaluator options through negotiate ------------------------------------
+
+
+def test_negotiate_with_request_normalization(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    outcome = negotiate(
+        movie_service, topology, providers, commit=False,
+        evaluator_options={"normalize_by": "request"},
+    )
+    assert outcome.success
+
+
+def test_negotiate_with_uniform_weights(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    outcome = negotiate(
+        movie_service, topology, providers, commit=False,
+        weights=WeightScheme.UNIFORM,
+    )
+    assert outcome.success
+
+
+def test_negotiate_with_custom_penalty(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    for penalty in (QuadraticPenalty(), ConstantPenalty()):
+        outcome = negotiate(
+            movie_service, topology, providers, commit=False, penalty=penalty,
+        )
+        assert outcome.success
+
+
+# -- evaluator normalization cross-checks --------------------------------------
+
+
+def test_domain_vs_request_normalization_order_preserved():
+    """Both normalizations rank proposals identically when one dominates
+    the other attribute-wise (order embedding, not just scale)."""
+    request = catalog.surveillance_request()
+    dom = ProposalEvaluator(request, normalize_by="domain")
+    req = ProposalEvaluator(request, normalize_by="request")
+
+    def proposal(fr, cd):
+        return Proposal(
+            task_id="t", node_id="n",
+            values={FRAME_RATE: fr, COLOR_DEPTH: cd,
+                    SAMPLING_RATE: 8, SAMPLE_BITS: 8},
+        )
+
+    better = proposal(9, 3)
+    worse = proposal(4, 1)
+    assert dom.distance(better) < dom.distance(worse)
+    assert req.distance(better) < req.distance(worse)
+
+
+def test_signed_evaluator_through_negotiation(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    outcome = negotiate(
+        movie_service, topology, providers, commit=False,
+        evaluator_options={"signed": True},
+    )
+    # Signed mode is an ablation; it still allocates.
+    assert outcome.success
+
+
+# -- proposal immutability -----------------------------------------------------
+
+
+def test_proposal_values_frozen():
+    p = Proposal(task_id="t", node_id="n", values={FRAME_RATE: 10})
+    with pytest.raises(TypeError):
+        p.values[FRAME_RATE] = 5  # type: ignore[index]
+
+
+def test_proposal_covers_and_value():
+    p = Proposal(task_id="t", node_id="n", values={FRAME_RATE: 10})
+    assert p.covers((FRAME_RATE,))
+    assert not p.covers((FRAME_RATE, COLOR_DEPTH))
+    assert p.value(FRAME_RATE) == 10
+    with pytest.raises(KeyError):
+        p.value(COLOR_DEPTH)
+
+
+# -- task/ladder misc -----------------------------------------------------------
+
+
+def test_task_transfer_and_ladder_helpers():
+    service = workload.movie_playback_service(requester="r")
+    task = service.tasks[0]
+    assert task.transfer_kb() == task.input_kb + task.output_kb
+    ladder = task.ladder(float_steps=4)
+    assert ladder.top().at_top

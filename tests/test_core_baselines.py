@@ -1,0 +1,121 @@
+"""Unit tests for the baseline allocators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import baselines
+from repro.core.negotiation import negotiate
+from repro.metrics.utility import outcome_utility
+from repro.network.radio import DiscRadio
+from repro.network.topology import Topology
+from repro.resources.node import Node, NodeClass
+from repro.resources.provider import QoSProvider
+from repro.services import workload
+
+
+def test_single_node_succeeds_when_capable(surveillance_service):
+    """A PDA alone can carry the degraded surveillance workload."""
+    nodes = [Node("requester", NodeClass.PDA, position=(0, 0))]
+    topology = Topology(nodes, DiscRadio())
+    providers = {"requester": QoSProvider(nodes[0])}
+    outcome = baselines.single_node(surveillance_service, topology, providers)
+    assert outcome.success
+    assert outcome.coalition.members == {"requester"}
+    assert outcome.message_count == 0  # no cooperation, no radio
+
+
+def test_single_node_fails_on_weak_device(movie_service):
+    nodes = [Node("requester", NodeClass.PHONE, position=(0, 0))]
+    topology = Topology(nodes, DiscRadio())
+    providers = {"requester": QoSProvider(nodes[0])}
+    outcome = baselines.single_node(movie_service, topology, providers)
+    assert not outcome.success
+
+
+def test_single_node_joint_schedulability(surveillance_service):
+    """Joint formulation: both tasks must fit simultaneously, so the
+    single-node quality is below what either task would get alone."""
+    nodes = [Node("requester", NodeClass.PDA, position=(0, 0))]
+    topology = Topology(nodes, DiscRadio())
+    providers = {"requester": QoSProvider(nodes[0])}
+    joint = baselines.single_node(surveillance_service, topology, providers)
+    video_only = workload.surveillance_service(requester="requester", name="solo")
+    # compare total demand: joint allocation fits within capacity
+    total = None
+    for award in joint.coalition.awards.values():
+        total = award.demand if total is None else total + award.demand
+    assert nodes[0].capacity.covers(total)
+
+
+def test_random_admissible_allocates(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    rng = np.random.default_rng(3)
+    outcome = baselines.random_admissible(movie_service, topology, providers, rng)
+    assert outcome.success
+
+
+def test_random_admissible_weakly_below_negotiation(small_cluster, movie_service):
+    """Random picks cannot beat the distance-minimizing protocol."""
+    topology, providers, nodes = small_cluster
+    coal = negotiate(movie_service, topology, providers, commit=False)
+    rngs = [np.random.default_rng(s) for s in range(8)]
+    random_utils = [
+        outcome_utility(
+            baselines.random_admissible(movie_service, topology, providers, rng)
+        )
+        for rng in rngs
+    ]
+    assert outcome_utility(coal) >= max(random_utils) - 1e-9
+
+
+def test_greedy_centralized_matches_distance_only(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    outcome = baselines.greedy_centralized(movie_service, topology, providers)
+    assert outcome.success
+    assert outcome.message_count == 0
+    assert outcome_utility(outcome) == pytest.approx(1.0)
+
+
+def test_exhaustive_optimal_small_instance(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    optimal = baselines.exhaustive_optimal(movie_service, topology, providers)
+    assert optimal is not None
+    assert optimal.success
+    protocol = negotiate(movie_service, topology, providers, commit=False)
+    # The protocol is greedy; optimal total distance is a lower bound.
+    assert optimal.total_distance() <= protocol.total_distance() + 1e-9
+
+
+def test_exhaustive_optimal_respects_blowup_guard(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    assert baselines.exhaustive_optimal(
+        movie_service, topology, providers, max_combinations=1
+    ) is None
+
+
+def test_exhaustive_optimal_prefers_fewer_members(movie_service):
+    """Among equal-distance allocations the optimal baseline minimizes
+    the member count (the paper's third criterion, applied globally)."""
+    nodes = [
+        Node("requester", NodeClass.PHONE, position=(0, 0)),
+        Node("lapA", NodeClass.LAPTOP, position=(10, 0)),
+        Node("lapB", NodeClass.LAPTOP, position=(12, 0)),
+    ]
+    topology = Topology(nodes, DiscRadio(range_m=100.0))
+    providers = {n.node_id: QoSProvider(n) for n in nodes}
+    outcome = baselines.exhaustive_optimal(movie_service, topology, providers)
+    assert outcome is not None and outcome.success
+    # One laptop can host both tasks at full quality: expect size 1.
+    assert outcome.coalition.size == 1
+
+
+def test_baselines_leave_no_reservations(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    rng = np.random.default_rng(1)
+    baselines.single_node(movie_service, topology, providers)
+    baselines.random_admissible(movie_service, topology, providers, rng)
+    baselines.greedy_centralized(movie_service, topology, providers)
+    baselines.exhaustive_optimal(movie_service, topology, providers)
+    assert all(p.node.manager.reserved.is_zero for p in providers.values())

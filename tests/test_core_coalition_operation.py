@@ -1,0 +1,173 @@
+"""Unit tests for the coalition life cycle and the operation phase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coalition import Coalition, CoalitionPhase, TaskAward
+from repro.core.negotiation import negotiate
+from repro.core.operation import run_operation_phase
+from repro.core.proposal import Proposal
+from repro.errors import CoalitionStateError
+from repro.resources.capacity import Capacity
+from repro.services import workload
+from repro.sim.engine import Engine
+
+
+def _award(task_id="t1", node_id="n1", distance=0.1):
+    return TaskAward(
+        task_id=task_id,
+        node_id=node_id,
+        proposal=Proposal(task_id=task_id, node_id=node_id, values={}),
+        distance=distance,
+        comm_cost=0.5,
+        demand=Capacity.of(cpu=1),
+    )
+
+
+@pytest.fixture
+def service():
+    return workload.movie_playback_service(requester="requester")
+
+
+# -- Coalition life cycle ------------------------------------------------------
+
+
+def test_phase_transitions(service):
+    c = Coalition(service)
+    assert c.phase is CoalitionPhase.FORMING
+    c.start_operation()
+    assert c.phase is CoalitionPhase.OPERATING
+    c.dissolve(now=9.0)
+    assert c.phase is CoalitionPhase.DISSOLVED
+    assert c.dissolved_at == 9.0
+
+
+def test_invalid_transitions(service):
+    c = Coalition(service)
+    c.start_operation()
+    with pytest.raises(CoalitionStateError):
+        c.start_operation()
+    c.dissolve()
+    with pytest.raises(CoalitionStateError):
+        c.dissolve()
+    with pytest.raises(CoalitionStateError):
+        c.add_award(_award())
+
+
+def test_members_and_size(service):
+    c = Coalition(service)
+    tid0 = service.tasks[0].task_id
+    tid1 = service.tasks[1].task_id
+    c.add_award(_award(task_id=tid0, node_id="a"))
+    c.add_award(_award(task_id=tid1, node_id="a"))
+    assert c.members == {"a"} and c.size == 1
+    c.add_award(_award(task_id=tid1, node_id="b"))  # reallocation
+    assert c.members == {"a", "b"} and c.size == 2
+    assert c.tasks_on("a") == (tid0,)
+
+
+def test_complete_and_totals(service):
+    c = Coalition(service)
+    assert not c.complete
+    for task, node in zip(service.tasks, ("a", "b")):
+        c.add_award(_award(task_id=task.task_id, node_id=node, distance=0.2))
+    assert c.complete
+    assert c.total_distance() == pytest.approx(0.4)
+    assert c.total_comm_cost() == pytest.approx(1.0)
+
+
+# -- Operation phase ------------------------------------------------------------
+
+
+def test_operation_completes_without_failures(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    engine = Engine(seed=5)
+    outcome = negotiate(movie_service, topology, providers, commit=True)
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine
+    )
+    assert report.completed == len(movie_service.tasks)
+    assert report.lost == 0
+    assert report.reconfigurations == 0
+    assert outcome.coalition.phase is CoalitionPhase.DISSOLVED
+    # All reservations released at dissolution.
+    assert all(p.node.manager.reserved.is_zero for p in providers.values())
+    # Tasks completed at their nominal duration.
+    for task in movie_service.tasks:
+        assert report.outcomes[task.task_id].finished_at == pytest.approx(task.duration)
+
+
+def test_operation_reconfigures_on_failure(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    engine = Engine(seed=5)
+    outcome = negotiate(movie_service, topology, providers, commit=True)
+    video_tid = movie_service.tasks[0].task_id
+    victim = outcome.coalition.awards[video_tid].node_id
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine,
+        failures=[(5.0, victim)],
+    )
+    assert report.failures_injected == 1
+    assert report.reconfigurations == 1
+    assert report.completed == len(movie_service.tasks)
+    out = report.outcomes[video_tid]
+    assert out.status == "completed"
+    assert out.reallocations == 1
+    assert out.node_id != victim
+
+
+def test_operation_without_reconfiguration_loses_tasks(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    engine = Engine(seed=5)
+    outcome = negotiate(movie_service, topology, providers, commit=True)
+    video_tid = movie_service.tasks[0].task_id
+    victim = outcome.coalition.awards[video_tid].node_id
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine,
+        failures=[(5.0, victim)],
+        allow_reconfiguration=False,
+    )
+    assert report.outcomes[video_tid].status == "lost"
+    assert report.reconfigurations == 0
+
+
+def test_operation_failure_after_completion_is_harmless(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    engine = Engine(seed=5)
+    outcome = negotiate(movie_service, topology, providers, commit=True)
+    victim = next(iter(outcome.coalition.members))
+    max_duration = max(t.duration for t in movie_service.tasks)
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine,
+        failures=[(max_duration + 1.0, victim)],
+    )
+    assert report.completed == len(movie_service.tasks)
+    assert report.failures_injected == 0  # no orphaned tasks at crash time
+
+
+def test_operation_unallocated_tasks_reported_lost(movie_service):
+    """A coalition missing an award reports that task as lost."""
+    from repro.network.radio import DiscRadio
+    from repro.network.topology import Topology
+    from repro.resources.node import Node, NodeClass
+    from repro.resources.provider import QoSProvider
+
+    nodes = [Node("requester", NodeClass.PHONE, position=(0, 0))]
+    topology = Topology(nodes, DiscRadio())
+    providers = {"requester": QoSProvider(nodes[0])}
+    outcome = negotiate(movie_service, topology, providers, commit=True)
+    assert not outcome.success
+    engine = Engine(seed=1)
+    report = run_operation_phase(outcome.coalition, topology, providers, engine)
+    video_tid = movie_service.tasks[0].task_id
+    assert report.outcomes[video_tid].status == "lost"
+    assert report.completed >= 1  # audio still finishes locally
+
+
+def test_recovery_rate_metric(small_cluster, movie_service):
+    topology, providers, nodes = small_cluster
+    engine = Engine(seed=5)
+    outcome = negotiate(movie_service, topology, providers, commit=True)
+    report = run_operation_phase(outcome.coalition, topology, providers, engine)
+    assert report.recovery_rate == 1.0  # nothing affected => vacuous 1.0

@@ -1,0 +1,100 @@
+"""Unit tests for eq. 1 local reward and penalty policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reward import (
+    ConstantPenalty,
+    LinearPenalty,
+    QuadraticPenalty,
+    local_reward,
+)
+from repro.errors import ReproError
+from repro.qos import catalog
+from repro.qos.catalog import COLOR_DEPTH, FRAME_RATE
+from repro.qos.levels import DegradationLadder
+
+
+@pytest.fixture
+def ladder():
+    return DegradationLadder.from_request(catalog.surveillance_request())
+
+
+def test_reward_at_top_is_n(ladder):
+    """eq. 1 first branch: r = n when served at Q_k1 everywhere."""
+    assert local_reward(ladder.top()) == 4.0  # 4 attributes in the request
+
+
+def test_reward_decreases_with_degradation(ladder):
+    top = local_reward(ladder.top())
+    one = local_reward(ladder.top().degrade(FRAME_RATE))
+    two = local_reward(ladder.top().degrade(FRAME_RATE).degrade(FRAME_RATE))
+    assert top > one > two
+
+
+def test_reward_at_bottom_linear(ladder):
+    # Both degradable attributes fully degraded: penalty 1 each.
+    assert local_reward(ladder.bottom()) == pytest.approx(4.0 - 2.0)
+
+
+def test_penalty_policies_zero_at_preferred():
+    for policy in (LinearPenalty(), QuadraticPenalty(), ConstantPenalty()):
+        assert policy(0, 5) == 0.0
+
+
+def test_penalty_policies_monotone():
+    for policy in (LinearPenalty(), QuadraticPenalty(), ConstantPenalty()):
+        values = [policy(d, 6) for d in range(6)]
+        assert all(values[i] <= values[i + 1] for i in range(5))
+
+
+def test_linear_penalty_normalized_by_depth():
+    p = LinearPenalty()
+    assert p(4, 5) == pytest.approx(1.0)  # full degradation costs `scale`
+    assert p(2, 5) == pytest.approx(0.5)
+    assert p(0, 1) == 0.0  # single-level ladders cannot be penalized
+
+
+def test_quadratic_penalty_convexity():
+    p = QuadraticPenalty()
+    assert p(2, 5) == pytest.approx(0.25)
+    assert p(2, 5) < LinearPenalty()(2, 5)  # gentler near preferred
+    assert p(4, 5) == pytest.approx(1.0)
+
+
+def test_constant_penalty_binary():
+    p = ConstantPenalty(scale=0.7)
+    assert p(1, 5) == 0.7
+    assert p(4, 5) == 0.7
+
+
+def test_penalty_argument_validation():
+    p = LinearPenalty()
+    with pytest.raises(ReproError):
+        p(-1, 5)
+    with pytest.raises(ReproError):
+        p(5, 5)  # distance beyond depth
+    with pytest.raises(ReproError):
+        p(0, 0)
+    with pytest.raises(ReproError):
+        LinearPenalty(scale=-1.0)
+
+
+def test_reward_with_custom_policy(ladder):
+    a = ladder.top().degrade(COLOR_DEPTH)
+    r_const = local_reward(a, ConstantPenalty(scale=2.0))
+    assert r_const == pytest.approx(4.0 - 2.0)
+
+
+def test_reward_policy_changes_ranking(ladder):
+    """Constant vs linear penalties order degradations differently."""
+    one_deep = ladder.top().degrade(FRAME_RATE)           # 1 step of 10
+    shallow_wide = ladder.top().degrade(COLOR_DEPTH)      # 1 step of 2
+    lin_deep = local_reward(one_deep, LinearPenalty())
+    lin_wide = local_reward(shallow_wide, LinearPenalty())
+    # Linear: a frame-rate step costs 1/9, a color step costs 1/1.
+    assert lin_deep > lin_wide
+    const_deep = local_reward(one_deep, ConstantPenalty())
+    const_wide = local_reward(shallow_wide, ConstantPenalty())
+    assert const_deep == const_wide  # constant: any degradation equal

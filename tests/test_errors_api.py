@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    error_classes = [
+        obj for obj in vars(errors).values()
+        if isinstance(obj, type) and issubclass(obj, Exception)
+    ]
+    assert len(error_classes) >= 15
+    for cls in error_classes:
+        assert issubclass(cls, errors.ReproError) or cls is errors.ReproError
+
+
+def test_error_subhierarchies():
+    assert issubclass(errors.UnknownDimensionError, errors.QoSSpecError)
+    assert issubclass(errors.UnknownAttributeError, errors.QoSSpecError)
+    assert issubclass(errors.DomainError, errors.QoSSpecError)
+    assert issubclass(errors.CapacityExceededError, errors.ResourceError)
+    assert issubclass(errors.UnknownReservationError, errors.ResourceError)
+    assert issubclass(errors.MappingError, errors.ResourceError)
+    assert issubclass(errors.NotConnectedError, errors.NetworkError)
+    assert issubclass(errors.UnknownNodeError, errors.NetworkError)
+    assert issubclass(errors.NoAdmissibleProposalError, errors.NegotiationError)
+    assert issubclass(errors.InfeasibleTaskError, errors.NegotiationError)
+    assert issubclass(errors.CoalitionStateError, errors.CoalitionError)
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+
+def test_structured_errors_carry_context():
+    e = errors.UnknownDimensionError("Video")
+    assert e.dimension == "Video" and "Video" in str(e)
+    e2 = errors.UnknownAttributeError("fps")
+    assert e2.attribute == "fps"
+    e3 = errors.UnknownNodeError("n7")
+    assert e3.node_id == "n7"
+
+
+def test_catching_base_class_catches_all():
+    from repro.qos.domain import DiscreteDomain
+    from repro.qos.types import ValueType
+
+    with pytest.raises(errors.ReproError):
+        DiscreteDomain(ValueType.INTEGER, ())
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, f"missing export {name}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_qos_namespace_exports():
+    from repro import qos
+
+    for name in qos.__all__:
+        assert getattr(qos, name, None) is not None, f"missing qos export {name}"
+
+
+def test_core_namespace_exports():
+    from repro import core
+
+    for name in core.__all__:
+        assert getattr(core, name, None) is not None, f"missing core export {name}"

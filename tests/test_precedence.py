@@ -1,0 +1,162 @@
+"""Unit tests for the task-precedence extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.negotiation import negotiate
+from repro.core.operation import run_operation_phase
+from repro.services import workload
+from repro.services.service import Service
+from repro.sim.engine import Engine
+
+
+def _tasks(n=3):
+    service = workload.movie_playback_service(requester="r")
+    base = service.tasks[0]
+    from repro.services.task import Task
+
+    return tuple(
+        Task(task_id=f"t{i}", request=base.request,
+             demand_model=base.demand_model, duration=10.0)
+        for i in range(n)
+    )
+
+
+# -- Service precedence validation ---------------------------------------------
+
+
+def test_default_service_has_no_precedence():
+    service = workload.movie_playback_service(requester="r")
+    assert service.precedence == ()
+    for task in service.tasks:
+        assert service.predecessors(task.task_id) == ()
+        assert service.successors(task.task_id) == ()
+
+
+def test_precedence_accessors():
+    t = _tasks(3)
+    service = Service(name="s", tasks=t, requester="r",
+                      precedence=(("t0", "t1"), ("t1", "t2")))
+    assert service.predecessors("t1") == ("t0",)
+    assert service.successors("t1") == ("t2",)
+    assert service.predecessors("t0") == ()
+    with pytest.raises(KeyError):
+        service.predecessors("ghost")
+
+
+def test_precedence_rejects_unknown_ids():
+    t = _tasks(2)
+    with pytest.raises(ValueError):
+        Service(name="s", tasks=t, requester="r", precedence=(("t0", "tX"),))
+
+
+def test_precedence_rejects_self_loop():
+    t = _tasks(2)
+    with pytest.raises(ValueError):
+        Service(name="s", tasks=t, requester="r", precedence=(("t0", "t0"),))
+
+
+def test_precedence_rejects_cycles():
+    t = _tasks(3)
+    with pytest.raises(ValueError):
+        Service(name="s", tasks=t, requester="r",
+                precedence=(("t0", "t1"), ("t1", "t2"), ("t2", "t0")))
+
+
+def test_critical_path_length():
+    t = _tasks(4)  # each duration 10
+    chain = Service(name="s", tasks=t, requester="r",
+                    precedence=(("t0", "t1"), ("t1", "t2")))
+    # t0->t1->t2 = 30; t3 independent = 10.
+    assert chain.critical_path_length() == 30.0
+    parallel = Service(name="p", tasks=t, requester="r")
+    assert parallel.critical_path_length() == 10.0
+    diamond = Service(
+        name="d", tasks=t, requester="r",
+        precedence=(("t0", "t1"), ("t0", "t2"), ("t1", "t3"), ("t2", "t3")),
+    )
+    assert diamond.critical_path_length() == 30.0
+
+
+# -- operation-phase sequencing --------------------------------------------------
+
+
+def test_pipeline_executes_in_order(small_cluster):
+    topology, providers, nodes = small_cluster
+    service = workload.pipeline_service(requester="requester")
+    outcome = negotiate(service, topology, providers, commit=True)
+    assert outcome.success
+    engine = Engine(seed=1)
+    report = run_operation_phase(outcome.coalition, topology, providers, engine)
+    fetch, decode, enhance, audio = (t.task_id for t in service.tasks)
+    assert report.completed == 4
+    # Stage finish times respect precedence exactly (8 s stages).
+    assert report.outcomes[fetch].finished_at == pytest.approx(8.0)
+    assert report.outcomes[decode].finished_at == pytest.approx(16.0)
+    assert report.outcomes[enhance].finished_at == pytest.approx(24.0)
+    # The independent audio task ran in parallel from t=0.
+    assert report.outcomes[audio].finished_at == pytest.approx(8.0)
+    assert report.makespan == pytest.approx(service.critical_path_length())
+
+
+def test_lost_predecessor_blocks_successors(small_cluster):
+    """If the decode stage's executor dies with no recovery allowed, the
+    enhance stage never starts and is reported lost."""
+    topology, providers, nodes = small_cluster
+    service = workload.pipeline_service(requester="requester")
+    outcome = negotiate(service, topology, providers, commit=True)
+    assert outcome.success
+    decode_tid = service.tasks[1].task_id
+    enhance_tid = service.tasks[2].task_id
+    victim = outcome.coalition.awards[decode_tid].node_id
+    engine = Engine(seed=2)
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine,
+        failures=[(10.0, victim)],  # during the decode stage
+        allow_reconfiguration=False,
+    )
+    assert report.outcomes[decode_tid].status == "lost"
+    assert report.outcomes[enhance_tid].status == "lost"
+    # Resources of the never-started stage were still released.
+    for provider in providers.values():
+        assert provider.node.manager.reserved.is_zero
+
+
+def test_mid_pipeline_failure_reconfigures_and_completes(small_cluster):
+    topology, providers, nodes = small_cluster
+    service = workload.pipeline_service(requester="requester")
+    outcome = negotiate(service, topology, providers, commit=True)
+    assert outcome.success
+    decode_tid = service.tasks[1].task_id
+    victim = outcome.coalition.awards[decode_tid].node_id
+    engine = Engine(seed=3)
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine,
+        failures=[(12.0, victim)],
+    )
+    assert report.completed == 4
+    assert report.outcomes[decode_tid].reallocations == 1
+    # Decode restarted at 12 s, 8 s stage, enhance follows: 20 + 8 = 28.
+    assert report.makespan == pytest.approx(28.0)
+
+
+def test_failure_of_not_yet_started_stage(small_cluster):
+    """Crashing the enhance executor before its stage starts reallocates
+    it without restarting anything already done."""
+    topology, providers, nodes = small_cluster
+    service = workload.pipeline_service(requester="requester")
+    outcome = negotiate(service, topology, providers, commit=True)
+    assert outcome.success
+    enhance_tid = service.tasks[2].task_id
+    fetch_tid = service.tasks[0].task_id
+    victim = outcome.coalition.awards[enhance_tid].node_id
+    # Only meaningful if the enhance stage isn't colocated with fetch's
+    # executor — crash at t=2 while only fetch/audio run.
+    engine = Engine(seed=4)
+    report = run_operation_phase(
+        outcome.coalition, topology, providers, engine,
+        failures=[(2.0, victim)],
+    )
+    assert report.outcomes[enhance_tid].status == "completed"
+    assert report.completed >= 3

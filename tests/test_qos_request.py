@@ -1,0 +1,183 @@
+"""Unit tests for service requests (Section 3.1 preference orders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RequestError
+from repro.qos import catalog
+from repro.qos.catalog import (
+    AUDIO_QUALITY,
+    COLOR_DEPTH,
+    FRAME_RATE,
+    SAMPLE_BITS,
+    SAMPLING_RATE,
+    VIDEO_QUALITY,
+)
+from repro.qos.request import (
+    AttributePreference,
+    DimensionPreference,
+    ServiceRequest,
+    ValueInterval,
+)
+
+
+def test_paper_surveillance_request_structure():
+    """The Section 3.1 example: video over audio, frame rate over color."""
+    req = catalog.surveillance_request()
+    assert req.dimension_rank(VIDEO_QUALITY) == 1
+    assert req.dimension_rank(AUDIO_QUALITY) == 2
+    assert req.attribute_rank(VIDEO_QUALITY, FRAME_RATE) == 1
+    assert req.attribute_rank(VIDEO_QUALITY, COLOR_DEPTH) == 2
+    assert req.attribute_rank(AUDIO_QUALITY, SAMPLING_RATE) == 1
+    assert req.attribute_rank(AUDIO_QUALITY, SAMPLE_BITS) == 2
+
+
+def test_preferred_values_match_paper_example():
+    req = catalog.surveillance_request()
+    pref = req.preferred_assignment()
+    assert pref[FRAME_RATE] == 10  # best end of [10,...,5]
+    assert pref[COLOR_DEPTH] == 3
+    assert pref[SAMPLING_RATE] == 8
+    assert pref[SAMPLE_BITS] == 8
+
+
+def test_accepts_interval_and_scalar_values():
+    req = catalog.surveillance_request()
+    assert req.accepts(FRAME_RATE, 7)      # inside [10..5]
+    assert req.accepts(FRAME_RATE, 2)      # inside [4..1]
+    assert not req.accepts(FRAME_RATE, 12) # above both intervals
+    assert req.accepts(COLOR_DEPTH, 1)
+    assert not req.accepts(COLOR_DEPTH, 24)
+    assert req.accepts(SAMPLING_RATE, 8)
+    assert not req.accepts(SAMPLING_RATE, 44)
+
+
+def test_value_interval_semantics():
+    iv = ValueInterval(10, 5)
+    assert iv.best == 10 and iv.worst == 5
+    assert iv.lo == 5 and iv.hi == 10
+    assert 7 in iv and 11 not in iv
+    assert str(iv) == "[10,...,5]"
+
+
+def test_attribute_preference_bounds():
+    ap = AttributePreference("x", (ValueInterval(10, 5), ValueInterval(4, 1)))
+    assert ap.bounds() == (1, 10)
+    ap2 = AttributePreference("y", (3, 1))
+    assert ap2.bounds() == (1, 3)
+    assert ap2.scalar_values() == (3, 1)
+
+
+def test_empty_preference_items_rejected():
+    with pytest.raises(RequestError):
+        AttributePreference("x", ())
+
+
+def test_dimension_preference_duplicate_attribute_rejected():
+    ap = AttributePreference("x", (1,))
+    with pytest.raises(RequestError):
+        DimensionPreference("V", (ap, ap))
+
+
+def test_request_must_cover_all_spec_dimensions():
+    spec = catalog.video_streaming_spec()
+    with pytest.raises(RequestError):
+        ServiceRequest(
+            spec,
+            dimensions=(
+                DimensionPreference(
+                    VIDEO_QUALITY,
+                    (
+                        AttributePreference(FRAME_RATE, (ValueInterval(10, 5),)),
+                        AttributePreference(COLOR_DEPTH, (3,)),
+                    ),
+                ),
+            ),  # Audio Quality missing
+        )
+
+
+def test_request_must_cover_all_dimension_attributes():
+    spec = catalog.video_streaming_spec()
+    with pytest.raises(RequestError):
+        ServiceRequest(
+            spec,
+            dimensions=(
+                DimensionPreference(
+                    VIDEO_QUALITY,
+                    (AttributePreference(FRAME_RATE, (ValueInterval(10, 5),)),),
+                ),  # color depth missing
+                DimensionPreference(
+                    AUDIO_QUALITY,
+                    (
+                        AttributePreference(SAMPLING_RATE, (8,)),
+                        AttributePreference(SAMPLE_BITS, (8,)),
+                    ),
+                ),
+            ),
+        )
+
+
+def test_request_rejects_out_of_domain_values():
+    spec = catalog.video_streaming_spec()
+    with pytest.raises(Exception):
+        ServiceRequest(
+            spec,
+            dimensions=(
+                DimensionPreference(
+                    VIDEO_QUALITY,
+                    (
+                        AttributePreference(FRAME_RATE, (ValueInterval(99, 5),)),
+                        AttributePreference(COLOR_DEPTH, (3,)),
+                    ),
+                ),
+                DimensionPreference(
+                    AUDIO_QUALITY,
+                    (
+                        AttributePreference(SAMPLING_RATE, (8,)),
+                        AttributePreference(SAMPLE_BITS, (8,)),
+                    ),
+                ),
+            ),
+        )
+
+
+def test_request_rejects_interval_on_discrete_attribute():
+    spec = catalog.video_streaming_spec()
+    with pytest.raises(RequestError):
+        ServiceRequest(
+            spec,
+            dimensions=(
+                DimensionPreference(
+                    VIDEO_QUALITY,
+                    (
+                        AttributePreference(FRAME_RATE, (ValueInterval(10, 5),)),
+                        AttributePreference(COLOR_DEPTH, (ValueInterval(3, 1),)),
+                    ),
+                ),
+                DimensionPreference(
+                    AUDIO_QUALITY,
+                    (
+                        AttributePreference(SAMPLING_RATE, (8,)),
+                        AttributePreference(SAMPLE_BITS, (8,)),
+                    ),
+                ),
+            ),
+        )
+
+
+def test_unknown_lookups_raise():
+    req = catalog.surveillance_request()
+    with pytest.raises(RequestError):
+        req.preference_for("ghost")
+    with pytest.raises(RequestError):
+        req.dimension_rank("ghost")
+    with pytest.raises(RequestError):
+        req.attribute_rank(VIDEO_QUALITY, "ghost")
+
+
+def test_attribute_names_in_importance_order():
+    req = catalog.surveillance_request()
+    assert req.attribute_names == (
+        FRAME_RATE, COLOR_DEPTH, SAMPLING_RATE, SAMPLE_BITS
+    )

@@ -1,0 +1,204 @@
+"""Unit tests for attributes, dimensions, dependencies, and QoSSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DependencyError,
+    DomainError,
+    QoSSpecError,
+    UnknownAttributeError,
+    UnknownDimensionError,
+)
+from repro.qos.attribute import Attribute
+from repro.qos.dependencies import Dependency, DependencySet
+from repro.qos.dimension import QoSDimension
+from repro.qos.domain import ContinuousDomain, DiscreteDomain
+from repro.qos.spec import QoSSpec
+from repro.qos.types import ValueType
+
+
+def _attr(name, values=(3, 2, 1)):
+    return Attribute(name, DiscreteDomain(ValueType.INTEGER, values))
+
+
+# -- Attribute / QoSDimension ------------------------------------------------
+
+
+def test_attribute_flags_and_validate():
+    disc = _attr("a")
+    cont = Attribute("b", ContinuousDomain(ValueType.INTEGER, 1, 10), unit="fps")
+    assert disc.is_discrete and not disc.is_continuous
+    assert cont.is_continuous and not cont.is_discrete
+    assert cont.validate(5) == 5
+    with pytest.raises(DomainError):
+        disc.validate(9)
+    assert "fps" in str(cont)
+
+
+def test_dimension_validation():
+    d = QoSDimension("V", ("x", "y"))
+    assert "x" in d and len(d) == 2 and list(d) == ["x", "y"]
+    with pytest.raises(QoSSpecError):
+        QoSDimension("V", ())
+    with pytest.raises(QoSSpecError):
+        QoSDimension("V", ("x", "x"))
+
+
+# -- Dependency / DependencySet ---------------------------------------------------
+
+
+def test_dependency_applicability_and_satisfaction():
+    dep = Dependency("d", ("a", "b"), lambda v: v["a"] <= v["b"])
+    assert dep.applicable({"a": 1, "b": 2})
+    assert not dep.applicable({"a": 1})
+    assert dep.satisfied({"a": 1})  # inapplicable => satisfied
+    assert dep.satisfied({"a": 1, "b": 2})
+    assert not dep.satisfied({"a": 3, "b": 2})
+
+
+def test_dependency_sees_only_declared_attributes():
+    seen = {}
+
+    def pred(v):
+        seen.update(v)
+        return True
+
+    dep = Dependency("d", ("a",), pred)
+    dep.satisfied({"a": 1, "z": 99})
+    assert "z" not in seen
+
+
+def test_dependency_rejects_empty_and_duplicates():
+    with pytest.raises(DependencyError):
+        Dependency("d", (), lambda v: True)
+    with pytest.raises(DependencyError):
+        Dependency("d", ("a", "a"), lambda v: True)
+
+
+def test_dependency_set_operations():
+    deps = DependencySet([
+        Dependency("p", ("a", "b"), lambda v: v["a"] < v["b"]),
+        Dependency("q", ("b",), lambda v: v["b"] > 0),
+    ])
+    assert len(deps) == 2 and bool(deps)
+    assert {d.name for d in deps.mentioning("b")} == {"p", "q"}
+    assert deps.satisfied({"a": 1, "b": 2})
+    bad = deps.violated_by({"a": 5, "b": 2})
+    assert [d.name for d in bad] == ["p"]
+    with pytest.raises(DependencyError):
+        deps.check({"a": 5, "b": 2})
+
+
+def test_dependency_set_duplicate_names_rejected():
+    with pytest.raises(DependencyError):
+        DependencySet([
+            Dependency("same", ("a",), lambda v: True),
+            Dependency("same", ("b",), lambda v: True),
+        ])
+
+
+# -- QoSSpec ------------------------------------------------------------
+
+
+def _spec(**kwargs):
+    return QoSSpec(
+        name="s",
+        dimensions=(QoSDimension("V", ("x", "y")), QoSDimension("A", ("z",))),
+        attributes=(_attr("x"), _attr("y"), _attr("z")),
+        **kwargs,
+    )
+
+
+def test_spec_lookups():
+    spec = _spec()
+    assert spec.dimension("V").name == "V"
+    assert spec.attribute("x").name == "x"
+    assert spec.dimension_of("z").name == "A"
+    assert spec.attribute_names == ("x", "y", "z")
+    assert spec.dimension_names == ("V", "A")
+
+
+def test_spec_unknown_lookups():
+    spec = _spec()
+    with pytest.raises(UnknownDimensionError):
+        spec.dimension("nope")
+    with pytest.raises(UnknownAttributeError):
+        spec.attribute("nope")
+    with pytest.raises(UnknownAttributeError):
+        spec.dimension_of("nope")
+
+
+def test_spec_requires_dimensions():
+    with pytest.raises(QoSSpecError):
+        QoSSpec("s", (), (_attr("x"),))
+
+
+def test_spec_rejects_unknown_attribute_in_dimension():
+    with pytest.raises(QoSSpecError):
+        QoSSpec("s", (QoSDimension("V", ("ghost",)),), (_attr("x"),))
+
+
+def test_spec_rejects_attribute_in_two_dimensions():
+    with pytest.raises(QoSSpecError):
+        QoSSpec(
+            "s",
+            (QoSDimension("V", ("x",)), QoSDimension("A", ("x",))),
+            (_attr("x"),),
+        )
+
+
+def test_spec_rejects_orphan_attributes():
+    with pytest.raises(QoSSpecError):
+        QoSSpec("s", (QoSDimension("V", ("x",)),), (_attr("x"), _attr("orphan")))
+
+
+def test_spec_rejects_duplicate_names():
+    with pytest.raises(QoSSpecError):
+        QoSSpec(
+            "s",
+            (QoSDimension("V", ("x",)), QoSDimension("V", ("y",))),
+            (_attr("x"), _attr("y")),
+        )
+    with pytest.raises(QoSSpecError):
+        QoSSpec("s", (QoSDimension("V", ("x", "y")),), (_attr("x"), _attr("x")))
+
+
+def test_spec_rejects_dependency_on_unknown_attribute():
+    with pytest.raises(QoSSpecError):
+        _spec(dependencies=DependencySet([
+            Dependency("d", ("ghost",), lambda v: True)
+        ]))
+
+
+def test_validate_assignment_complete_and_coerced():
+    spec = _spec()
+    out = spec.validate_assignment({"x": 3, "y": 2, "z": 1})
+    assert out == {"x": 3, "y": 2, "z": 1}
+
+
+def test_validate_assignment_missing_attribute():
+    spec = _spec()
+    with pytest.raises(QoSSpecError):
+        spec.validate_assignment({"x": 3, "y": 2})
+
+
+def test_validate_assignment_out_of_domain():
+    spec = _spec()
+    with pytest.raises(DomainError):
+        spec.validate_assignment({"x": 9, "y": 2, "z": 1})
+
+
+def test_validate_assignment_checks_dependencies():
+    spec = _spec(dependencies=DependencySet([
+        Dependency("x<=y", ("x", "y"), lambda v: v["x"] <= v["y"]),
+    ]))
+    spec.validate_assignment({"x": 1, "y": 2, "z": 1})
+    with pytest.raises(DependencyError):
+        spec.validate_assignment({"x": 3, "y": 1, "z": 1})
+
+
+def test_validate_partial_allows_missing():
+    spec = _spec()
+    assert spec.validate_partial({"x": 3}) == {"x": 3}

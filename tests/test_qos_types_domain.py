@@ -1,0 +1,153 @@
+"""Unit tests for value types and domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainError
+from repro.qos.domain import ContinuousDomain, DiscreteDomain
+from repro.qos.types import DomainKind, ValueType, check_type_domain_combination
+
+
+# -- ValueType ---------------------------------------------------------------
+
+
+def test_integer_validation():
+    ValueType.INTEGER.validate(3)
+    with pytest.raises(DomainError):
+        ValueType.INTEGER.validate(3.0)
+    with pytest.raises(DomainError):
+        ValueType.INTEGER.validate("3")
+    with pytest.raises(DomainError):
+        ValueType.INTEGER.validate(True)  # bools are not ints here
+
+
+def test_float_validation_accepts_ints():
+    ValueType.FLOAT.validate(3)
+    ValueType.FLOAT.validate(3.5)
+    with pytest.raises(DomainError):
+        ValueType.FLOAT.validate("x")
+    with pytest.raises(DomainError):
+        ValueType.FLOAT.validate(False)
+
+
+def test_string_validation():
+    ValueType.STRING.validate("720p")
+    with pytest.raises(DomainError):
+        ValueType.STRING.validate(720)
+
+
+def test_coerce_normalizes_floats():
+    assert ValueType.FLOAT.coerce(3) == 3.0
+    assert isinstance(ValueType.FLOAT.coerce(3), float)
+    assert ValueType.INTEGER.coerce(3) == 3
+    assert isinstance(ValueType.INTEGER.coerce(3), int)
+
+
+def test_continuous_string_combination_rejected():
+    with pytest.raises(DomainError):
+        check_type_domain_combination(ValueType.STRING, DomainKind.CONTINUOUS)
+
+
+# -- DiscreteDomain --------------------------------------------------------
+
+
+def test_discrete_membership_and_position():
+    d = DiscreteDomain(ValueType.INTEGER, (24, 16, 8, 3, 1))
+    assert 24 in d and 1 in d and 5 not in d
+    assert d.position(24) == 0  # best value has quality index 0
+    assert d.position(1) == 4
+    assert len(d) == 5
+    assert list(d) == [24, 16, 8, 3, 1]
+
+
+def test_discrete_position_unknown_value():
+    d = DiscreteDomain(ValueType.INTEGER, (2, 1))
+    with pytest.raises(DomainError):
+        d.position(3)
+
+
+def test_discrete_rejects_duplicates_and_empty():
+    with pytest.raises(DomainError):
+        DiscreteDomain(ValueType.INTEGER, (1, 1))
+    with pytest.raises(DomainError):
+        DiscreteDomain(ValueType.INTEGER, ())
+
+
+def test_discrete_type_mismatch_member():
+    with pytest.raises(DomainError):
+        DiscreteDomain(ValueType.INTEGER, (1, "a"))
+
+
+def test_discrete_span():
+    assert DiscreteDomain(ValueType.INTEGER, (3, 2, 1)).span() == 2.0
+    # Singleton domains define span 1 so zero numerators divide cleanly.
+    assert DiscreteDomain(ValueType.INTEGER, (1,)).span() == 1.0
+
+
+def test_discrete_string_domain():
+    d = DiscreteDomain(ValueType.STRING, ("1080p", "720p", "480p"))
+    assert d.position("720p") == 1
+    assert "240p" not in d
+
+
+def test_discrete_validate_returns_coerced():
+    d = DiscreteDomain(ValueType.INTEGER, (2, 1))
+    assert d.validate(2) == 2
+    with pytest.raises(DomainError):
+        d.validate(9)
+
+
+def test_discrete_equality_and_hash():
+    a = DiscreteDomain(ValueType.INTEGER, (2, 1))
+    b = DiscreteDomain(ValueType.INTEGER, (2, 1))
+    c = DiscreteDomain(ValueType.INTEGER, (1, 2))
+    assert a == b and hash(a) == hash(b)
+    assert a != c  # order is semantic (quality index)
+
+
+# -- ContinuousDomain ----------------------------------------------------------
+
+
+def test_continuous_membership():
+    d = ContinuousDomain(ValueType.INTEGER, 1, 30)
+    assert 1 in d and 30 in d and 15 in d
+    assert 0 not in d and 31 not in d
+
+
+def test_continuous_reversed_bounds_rejected():
+    with pytest.raises(DomainError):
+        ContinuousDomain(ValueType.FLOAT, 10.0, 1.0)
+
+
+def test_continuous_span_and_degenerate():
+    assert ContinuousDomain(ValueType.INTEGER, 1, 30).span() == 29.0
+    assert ContinuousDomain(ValueType.INTEGER, 5, 5).span() == 1.0
+
+
+def test_continuous_clamp():
+    d = ContinuousDomain(ValueType.INTEGER, 1, 30)
+    assert d.clamp(100) == 30
+    assert d.clamp(-5) == 1
+    assert d.clamp(12.6) == 13  # integer domains round
+    f = ContinuousDomain(ValueType.FLOAT, 0.0, 1.0)
+    assert f.clamp(0.25) == 0.25
+
+
+def test_continuous_string_rejected():
+    with pytest.raises(DomainError):
+        ContinuousDomain(ValueType.STRING, 0, 1)  # type: ignore[arg-type]
+
+
+def test_continuous_validate():
+    d = ContinuousDomain(ValueType.FLOAT, 0.0, 2.0)
+    assert d.validate(1) == 1.0
+    with pytest.raises(DomainError):
+        d.validate(3.0)
+
+
+def test_continuous_equality():
+    a = ContinuousDomain(ValueType.INTEGER, 1, 30)
+    b = ContinuousDomain(ValueType.INTEGER, 1, 30)
+    assert a == b and hash(a) == hash(b)
+    assert a != ContinuousDomain(ValueType.INTEGER, 1, 29)

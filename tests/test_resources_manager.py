@@ -1,0 +1,110 @@
+"""Unit tests for Resource Managers (admission + accounting invariant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityExceededError, UnknownReservationError
+from repro.resources.capacity import Capacity
+from repro.resources.kinds import ResourceKind
+from repro.resources.manager import ResourceManager
+
+
+def _mgr(cpu=100.0, memory=64.0):
+    return ResourceManager(Capacity.of(cpu=cpu, memory=memory), name="t")
+
+
+def test_initial_state():
+    m = _mgr()
+    assert m.reserved.is_zero
+    assert m.available == m.capacity
+    assert m.utilization() == 0.0
+    assert m.live_reservations == ()
+
+
+def test_reserve_and_release_roundtrip():
+    m = _mgr()
+    r = m.reserve("taskA", Capacity.of(cpu=30), now=1.0)
+    assert r.live and r.granted_at == 1.0
+    assert m.reserved.get(ResourceKind.CPU) == 30.0
+    assert m.available.get(ResourceKind.CPU) == 70.0
+    m.release(r, now=2.0)
+    assert not r.live and r.released_at == 2.0
+    assert m.reserved.is_zero
+    assert m.available == m.capacity
+
+
+def test_invariant_reserved_plus_available_equals_capacity():
+    m = _mgr()
+    m.reserve("a", Capacity.of(cpu=10, memory=8))
+    m.reserve("b", Capacity.of(cpu=25))
+    assert m.reserved + m.available == m.capacity
+
+
+def test_over_admission_rejected_atomically():
+    m = _mgr(cpu=50)
+    m.reserve("a", Capacity.of(cpu=40))
+    before = m.reserved
+    with pytest.raises(CapacityExceededError):
+        m.reserve("b", Capacity.of(cpu=20, memory=1))
+    assert m.reserved == before  # all-or-nothing
+
+
+def test_try_reserve_returns_none():
+    m = _mgr(cpu=10)
+    assert m.try_reserve("a", Capacity.of(cpu=20)) is None
+    assert m.try_reserve("a", Capacity.of(cpu=5)) is not None
+
+
+def test_exact_fit_admitted():
+    m = _mgr(cpu=50)
+    m.reserve("a", Capacity.of(cpu=50))
+    assert m.utilization() == pytest.approx(1.0)
+    assert not m.can_admit(Capacity.of(cpu=0.001))
+    assert m.can_admit(Capacity.zero())
+
+
+def test_double_release_rejected():
+    m = _mgr()
+    r = m.reserve("a", Capacity.of(cpu=1))
+    m.release(r)
+    with pytest.raises(UnknownReservationError):
+        m.release(r)
+
+
+def test_release_foreign_reservation_rejected():
+    m1, m2 = _mgr(), _mgr()
+    r = m1.reserve("a", Capacity.of(cpu=1))
+    with pytest.raises(UnknownReservationError):
+        m2.release(r)
+
+
+def test_release_holder_bulk():
+    m = _mgr()
+    m.reserve("svc:t1", Capacity.of(cpu=10))
+    m.reserve("svc:t1", Capacity.of(cpu=5))
+    m.reserve("other", Capacity.of(cpu=1))
+    assert m.release_holder("svc:t1") == 2
+    assert m.reserved.get(ResourceKind.CPU) == 1.0
+    assert m.release_holder("nobody") == 0
+
+
+def test_utilization_is_bottleneck():
+    m = _mgr(cpu=100, memory=100)
+    m.reserve("a", Capacity.of(cpu=90, memory=10))
+    assert m.utilization() == pytest.approx(0.9)
+
+
+def test_many_reservations_under_churn():
+    """Accounting stays exact through interleaved reserve/release."""
+    m = _mgr(cpu=1000)
+    live = []
+    for i in range(100):
+        live.append(m.reserve(f"h{i}", Capacity.of(cpu=7)))
+        if i % 3 == 0:
+            m.release(live.pop(0))
+    expected = 7.0 * len(live)
+    assert m.reserved.get(ResourceKind.CPU) == pytest.approx(expected)
+    for r in live:
+        m.release(r)
+    assert m.reserved.is_zero

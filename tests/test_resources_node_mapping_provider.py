@@ -1,0 +1,202 @@
+"""Unit tests for nodes, demand models, and QoS Providers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityExceededError, MappingError, ResourceError
+from repro.resources.capacity import Capacity
+from repro.resources.kinds import ResourceKind
+from repro.resources.mapping import (
+    CompositeDemandModel,
+    LinearDemandModel,
+    TabularDemandModel,
+)
+from repro.resources.node import NODE_CLASS_PROFILES, Node, NodeClass
+from repro.resources.provider import QoSProvider
+
+
+# -- Node ------------------------------------------------------------------
+
+
+def test_node_defaults_from_class_profile():
+    n = Node("x", NodeClass.LAPTOP)
+    assert n.capacity == NODE_CLASS_PROFILES[NodeClass.LAPTOP]
+    assert n.alive and n.willing
+    assert n.battery == n.capacity.get(ResourceKind.ENERGY)
+
+
+def test_node_capacity_override():
+    cap = Capacity.of(cpu=42)
+    n = Node("x", NodeClass.PHONE, capacity=cap)
+    assert n.capacity == cap
+
+
+def test_class_profiles_are_ordered_by_strength():
+    cpu = lambda c: NODE_CLASS_PROFILES[c].get(ResourceKind.CPU)
+    assert cpu(NodeClass.PHONE) < cpu(NodeClass.PDA) < cpu(NodeClass.LAPTOP) < cpu(NodeClass.FIXED)
+
+
+def test_energy_consumption_and_death():
+    n = Node("x", NodeClass.PHONE)
+    total = n.battery
+    n.consume_energy(total / 2)
+    assert n.alive and n.battery_fraction == pytest.approx(0.5)
+    n.consume_energy(total)  # overdraw clamps at zero
+    assert n.battery == 0.0 and not n.alive
+
+
+def test_negative_energy_draw_rejected():
+    n = Node("x")
+    with pytest.raises(ResourceError):
+        n.consume_energy(-1.0)
+
+
+def test_fixed_nodes_survive_energy_draw():
+    n = Node("x", NodeClass.FIXED)
+    n.consume_energy(1e11)
+    assert n.alive  # mains powered
+
+
+def test_fail_and_recover():
+    n = Node("x")
+    n.fail()
+    assert not n.alive
+    n.recover()
+    assert n.alive
+    # A drained battery prevents recovery.
+    d = Node("y", NodeClass.PHONE)
+    d.consume_energy(d.battery)
+    d.recover()
+    assert not d.alive
+
+
+def test_distance_and_move():
+    a = Node("a", position=(0, 0))
+    b = Node("b", position=(3, 4))
+    assert a.distance_to(b) == 5.0
+    a.move_to(3, 0)
+    assert a.distance_to(b) == 4.0
+
+
+# -- Demand models --------------------------------------------------------
+
+
+def test_linear_demand_model():
+    model = LinearDemandModel(
+        base=Capacity.of(cpu=10),
+        per_unit={"fr": Capacity.of(cpu=6, energy=2)},
+    )
+    d = model.demand({"fr": 10})
+    assert d.get(ResourceKind.CPU) == 70.0
+    assert d.get(ResourceKind.ENERGY) == 20.0
+    # Unlisted attributes contribute nothing.
+    assert model.demand({"fr": 10, "other": 1}) == d
+
+
+def test_linear_demand_monotone_in_quality():
+    model = LinearDemandModel(
+        base=Capacity.of(cpu=1), per_unit={"fr": Capacity.of(cpu=2)}
+    )
+    assert model.demand({"fr": 5}).get(ResourceKind.CPU) < \
+        model.demand({"fr": 10}).get(ResourceKind.CPU)
+
+
+def test_linear_demand_value_scores():
+    model = LinearDemandModel(
+        base=Capacity.zero(),
+        per_unit={"res": Capacity.of(cpu=10)},
+        value_scores={"res": {"720p": 4.0, "480p": 2.0}},
+    )
+    assert model.demand({"res": "720p"}).get(ResourceKind.CPU) == 40.0
+    with pytest.raises(MappingError):
+        model.demand({"res": "1080p"})  # missing score
+
+
+def test_linear_demand_non_numeric_without_scores():
+    model = LinearDemandModel(
+        base=Capacity.zero(), per_unit={"res": Capacity.of(cpu=1)}
+    )
+    with pytest.raises(MappingError):
+        model.demand({"res": "720p"})
+
+
+def test_tabular_demand_model():
+    model = TabularDemandModel(
+        base=Capacity.of(memory=8),
+        tables={"codec": {"heavy": Capacity.of(cpu=100), "light": Capacity.of(cpu=10)}},
+    )
+    assert model.demand({"codec": "heavy"}).get(ResourceKind.CPU) == 100.0
+    assert model.demand({"codec": "light"}).get(ResourceKind.MEMORY) == 8.0
+    with pytest.raises(MappingError):
+        model.demand({"codec": "unknown"})
+
+
+def test_composite_demand_model_sums():
+    a = LinearDemandModel(Capacity.of(cpu=1), {})
+    b = LinearDemandModel(Capacity.of(cpu=2, memory=3), {})
+    c = CompositeDemandModel(a, b)
+    assert c.demand({}).get(ResourceKind.CPU) == 3.0
+    assert c.demand({}).get(ResourceKind.MEMORY) == 3.0
+    with pytest.raises(MappingError):
+        CompositeDemandModel()
+
+
+# -- QoSProvider --------------------------------------------------------
+
+
+def _provider(cpu=100.0, energy=1000.0):
+    node = Node("p", capacity=Capacity.of(cpu=cpu, energy=energy))
+    return QoSProvider(node), node
+
+
+def test_can_serve_checks_liveness_willingness_battery():
+    p, node = _provider()
+    demand = Capacity.of(cpu=10)
+    assert p.can_serve(demand)
+    node.willing = False
+    assert not p.can_serve(demand)
+    node.willing = True
+    node.fail()
+    assert not p.can_serve(demand)
+
+
+def test_can_serve_checks_battery():
+    p, node = _provider(energy=100.0)
+    assert not p.can_serve(Capacity.of(energy=150.0))
+    assert p.can_serve(Capacity.of(energy=80.0))
+
+
+def test_reserve_for_draws_energy():
+    p, node = _provider(energy=100.0)
+    model = LinearDemandModel(Capacity.of(cpu=10, energy=30), {})
+    reservation, demand = p.reserve_for("h", model, {}, now=1.0)
+    assert node.battery == 70.0
+    assert node.manager.reserved.get(ResourceKind.CPU) == 10.0
+    p.release(reservation)
+    # Rate resources return; energy stays spent.
+    assert node.manager.reserved.is_zero
+    assert node.battery == 70.0
+
+
+def test_reserve_for_insufficient_battery():
+    p, node = _provider(energy=10.0)
+    model = LinearDemandModel(Capacity.of(energy=20.0), {})
+    with pytest.raises(CapacityExceededError):
+        p.reserve_for("h", model, {})
+
+
+def test_can_serve_at_handles_unmappable_levels():
+    p, _ = _provider()
+    model = TabularDemandModel(Capacity.zero(), {"x": {"ok": Capacity.of(cpu=1)}})
+    assert p.can_serve_at(model, {"x": "ok"})
+    assert not p.can_serve_at(model, {"x": "missing"})
+
+
+def test_release_holder_via_provider():
+    p, node = _provider()
+    model = LinearDemandModel(Capacity.of(cpu=5), {})
+    p.reserve_for("svc:a", model, {})
+    p.reserve_for("svc:a", model, {})
+    assert p.release_holder("svc:a") == 2
+    assert node.manager.reserved.is_zero

@@ -1,0 +1,153 @@
+"""Unit tests for QoS serialization and ASCII figure rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import QoSSpecError, RequestError
+from repro.experiments.figures import AsciiChart, figure_from_table
+from repro.experiments.reporting import Table
+from repro.metrics.stats import Summary
+from repro.qos import catalog
+from repro.qos.serialization import (
+    domain_from_dict,
+    domain_to_dict,
+    request_from_dict,
+    request_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+# -- domain roundtrip ------------------------------------------------------
+
+
+def test_domain_roundtrip_discrete():
+    from repro.qos.domain import DiscreteDomain
+    from repro.qos.types import ValueType
+
+    d = DiscreteDomain(ValueType.STRING, ("a", "b"))
+    assert domain_from_dict(domain_to_dict(d)) == d
+
+
+def test_domain_roundtrip_continuous():
+    from repro.qos.domain import ContinuousDomain
+    from repro.qos.types import ValueType
+
+    d = ContinuousDomain(ValueType.FLOAT, 0.5, 2.5)
+    assert domain_from_dict(domain_to_dict(d)) == d
+
+
+def test_domain_malformed():
+    with pytest.raises(QoSSpecError):
+        domain_from_dict({"kind": "weird", "type": "integer"})
+    with pytest.raises(QoSSpecError):
+        domain_from_dict({"kind": "discrete"})
+
+
+# -- spec roundtrip ------------------------------------------------------
+
+
+def test_spec_roundtrip_streaming():
+    spec = catalog.video_streaming_spec()
+    data = spec_to_dict(spec)
+    # JSON-compatible end to end.
+    restored = spec_from_dict(json.loads(json.dumps(data)))
+    assert restored.name == spec.name
+    assert restored.dimension_names == spec.dimension_names
+    assert restored.attribute_names == spec.attribute_names
+    for name in spec.attribute_names:
+        assert restored.attribute(name).domain == spec.attribute(name).domain
+        assert restored.attribute(name).unit == spec.attribute(name).unit
+
+
+def test_spec_with_dependencies_needs_registry():
+    spec = catalog.video_conference_spec()
+    data = spec_to_dict(spec)
+    with pytest.raises(QoSSpecError):
+        spec_from_dict(data)  # predicate missing
+    registry = {
+        "heavy-codec-fps-limit": lambda v: v[catalog.CODEC] != "wavelet"
+        or v[catalog.FRAME_RATE] <= 20
+    }
+    restored = spec_from_dict(data, dependency_registry=registry)
+    assert len(restored.dependencies) == 1
+    # Restored dependency behaves like the original.
+    ok = {catalog.CODEC: "wavelet", catalog.FRAME_RATE: 15}
+    bad = {catalog.CODEC: "wavelet", catalog.FRAME_RATE: 25}
+    assert restored.dependencies.satisfied(ok)
+    assert not restored.dependencies.satisfied(bad)
+
+
+# -- request roundtrip ------------------------------------------------------
+
+
+def test_request_roundtrip_surveillance():
+    spec = catalog.video_streaming_spec()
+    request = catalog.surveillance_request(spec)
+    data = json.loads(json.dumps(request_to_dict(request)))
+    restored = request_from_dict(data, spec)
+    assert restored.name == request.name
+    assert restored.attribute_names == request.attribute_names
+    assert restored.preferred_assignment() == request.preferred_assignment()
+    # Interval semantics survive.
+    assert restored.accepts(catalog.FRAME_RATE, 7)
+    assert not restored.accepts(catalog.FRAME_RATE, 12)
+
+
+def test_request_spec_mismatch():
+    spec = catalog.video_streaming_spec()
+    other = catalog.video_conference_spec()
+    data = request_to_dict(catalog.surveillance_request(spec))
+    with pytest.raises(RequestError):
+        request_from_dict(data, other)
+
+
+def test_request_malformed():
+    spec = catalog.video_streaming_spec()
+    with pytest.raises(RequestError):
+        request_from_dict({"spec": spec.name, "dimensions": [{}]}, spec)
+
+
+# -- figures ----------------------------------------------------------------
+
+
+def test_ascii_chart_renders_series():
+    chart = AsciiChart("T", x_label="n", y_label="u", width=40, height=8)
+    chart.add_series("up", [1, 2, 3, 4], [0.1, 0.4, 0.7, 1.0])
+    chart.add_series("down", [1, 2, 3, 4], [1.0, 0.6, 0.3, 0.0])
+    text = chart.render()
+    assert "T" in text
+    assert "* up" in text and "o down" in text
+    assert "(n)" in text
+    # The glyphs actually appear in the plot area.
+    assert text.count("*") >= 4 and text.count("o") >= 4
+
+
+def test_ascii_chart_flat_series():
+    chart = AsciiChart("flat", width=20, height=5)
+    chart.add_series("c", [0, 1], [2.0, 2.0])
+    assert "c" in chart.render()  # degenerate y-range handled
+
+
+def test_ascii_chart_validation():
+    chart = AsciiChart("T")
+    with pytest.raises(ValueError):
+        chart.render()  # no series
+    with pytest.raises(ValueError):
+        chart.add_series("s", [1, 2], [1.0])
+    chart.add_series("s", [1], [1.0])
+    with pytest.raises(ValueError):
+        chart.add_series("s", [1], [1.0])  # duplicate
+    with pytest.raises(ValueError):
+        AsciiChart("T", width=5)
+
+
+def test_figure_from_table():
+    table = Table("data", ["x", "y"])
+    table.add_row(1, Summary(0.5, 0, 0, 1, 0.5, 0.5))
+    table.add_row(2, Summary(0.8, 0, 0, 1, 0.8, 0.8))
+    chart = figure_from_table(table, "x", ["y"], title="F", y_label="val")
+    assert "F" in chart.render()

@@ -1,0 +1,164 @@
+"""Unit tests for coroutine-style processes and waiters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import Process, Timeout, Waiter, sleep
+
+
+def test_process_runs_to_completion():
+    eng = Engine()
+    steps = []
+
+    def body(proc):
+        steps.append(("start", eng.now))
+        yield Timeout(2.0)
+        steps.append(("mid", eng.now))
+        yield Timeout(3.0)
+        steps.append(("end", eng.now))
+        return "done"
+
+    proc = Process(eng, body)
+    eng.run()
+    assert proc.done
+    assert proc.result == "done"
+    assert steps == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+
+def test_sleep_alias():
+    assert isinstance(sleep(1.5), Timeout)
+    assert sleep(1.5).delay == 1.5
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_waiter_blocks_until_trigger():
+    eng = Engine()
+    received = []
+
+    def body(proc):
+        waiter = Waiter(eng)
+        eng.schedule(4.0, lambda now: waiter.trigger("payload"))
+        value = yield waiter
+        received.append((value, eng.now))
+
+    Process(eng, body)
+    eng.run()
+    assert received == [("payload", 4.0)]
+
+
+def test_waiter_trigger_before_wait_latches_value():
+    eng = Engine()
+    waiter = Waiter(eng)
+    waiter.trigger(99)
+    got = []
+
+    def body(proc):
+        value = yield waiter
+        got.append(value)
+
+    Process(eng, body)
+    eng.run()
+    assert got == [99]
+
+
+def test_waiter_double_trigger_rejected():
+    eng = Engine()
+    waiter = Waiter(eng)
+    waiter.trigger()
+    with pytest.raises(SimulationError):
+        waiter.trigger()
+
+
+def test_waiter_double_await_rejected():
+    eng = Engine()
+    waiter = Waiter(eng)
+
+    def body_a(proc):
+        yield waiter
+
+    def body_b(proc):
+        yield waiter
+
+    Process(eng, body_a)
+    Process(eng, body_b)
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_unsupported_yield_rejected():
+    eng = Engine()
+
+    def body(proc):
+        yield 42
+
+    Process(eng, body)
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_interrupt_cancels_timeout():
+    eng = Engine()
+    events = []
+
+    def body(proc):
+        value = yield Timeout(100.0)
+        events.append((value, eng.now))
+
+    proc = Process(eng, body)
+    eng.schedule(1.0, lambda now: proc.interrupt("wake"))
+    eng.run()
+    assert proc.done
+    assert events == [("wake", 1.0)]
+
+
+def test_interrupt_finished_process_rejected():
+    eng = Engine()
+
+    def body(proc):
+        return
+        yield  # pragma: no cover
+
+    proc = Process(eng, body)
+    eng.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_two_processes_interleave():
+    eng = Engine()
+    order = []
+
+    def make(tag, delay):
+        def body(proc):
+            for i in range(3):
+                yield Timeout(delay)
+                order.append((tag, eng.now))
+        return body
+
+    Process(eng, make("fast", 1.0))
+    Process(eng, make("slow", 2.5))
+    eng.run()
+    assert order == [
+        ("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+        ("fast", 3.0), ("slow", 5.0), ("slow", 7.5),
+    ]
+
+
+def test_generator_object_accepted_directly():
+    eng = Engine()
+    out = []
+
+    def gen():
+        yield Timeout(1.0)
+        out.append(eng.now)
+
+    Process(eng, gen())
+    eng.run()
+    assert out == [1.0]
