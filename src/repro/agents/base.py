@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict
 
 from repro.network.messaging import Message, NetworkService
 from repro.resources.node import Node

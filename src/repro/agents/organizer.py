@@ -24,8 +24,7 @@ and its PROPOSE travels the loopback path at zero latency/loss.
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.agents.base import Agent
 from repro.agents.messages import (
@@ -53,8 +52,9 @@ from repro.resources.provider import QoSProvider
 from repro.services.service import Service
 from repro.sim.engine import Engine
 from repro.sim.events import EventHandle, Priority
+from repro.sim.sequences import Sequence
 
-_session_seq = itertools.count(1)
+_session_seq = Sequence()
 
 CompletionCallback = Callable[[NegotiationOutcome], None]
 
@@ -137,7 +137,7 @@ class OrganizerAgent(Agent):
         on_complete: Optional[CompletionCallback] = None,
     ) -> NegotiationSession:
         """Start a negotiation for ``service`` (step 1: broadcast CFP)."""
-        session_id = f"sess-{next(_session_seq)}"
+        session_id = f"sess-{_session_seq.next()}"
         deadline = self.engine.now + self.proposal_window
         session = NegotiationSession(
             session_id=session_id,

@@ -8,7 +8,7 @@ entry point examples and experiments use.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.agents.organizer import OrganizerAgent
 from repro.agents.provider import ProviderAgent

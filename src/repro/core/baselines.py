@@ -22,13 +22,13 @@ initial state without mutating it.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.admissibility import is_admissible
 from repro.core.coalition import Coalition, TaskAward
-from repro.core.evaluation import ProposalEvaluator, WeightScheme
+from repro.core.evaluation import ProposalEvaluator
 from repro.core.formulation import formulate
 from repro.core.negotiation import (
     NegotiationOutcome,

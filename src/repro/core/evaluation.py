@@ -41,13 +41,13 @@ Interpretation choices (documented because the paper under-specifies):
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict
 
 from repro.errors import DomainError, NegotiationError
 from repro.core.proposal import Proposal
 from repro.qos.domain import ContinuousDomain, DiscreteDomain
 from repro.qos.levels import build_ladder
-from repro.qos.request import AttributePreference, ServiceRequest
+from repro.qos.request import ServiceRequest
 
 
 class WeightScheme(enum.Enum):

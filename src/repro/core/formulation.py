@@ -26,7 +26,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InfeasibleTaskError
 from repro.core.reward import LinearPenalty, PenaltyPolicy, local_reward
-from repro.qos.levels import DegradationLadder, QualityAssignment
+from repro.qos.levels import QualityAssignment
 from repro.services.task import Task
 
 SchedulabilityTest = Callable[[Mapping[str, QualityAssignment]], bool]

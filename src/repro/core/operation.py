@@ -23,10 +23,10 @@ deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.coalition import Coalition, CoalitionPhase, TaskAward
+from repro.core.coalition import Coalition, TaskAward
 from repro.core.negotiation import negotiate, release_coalition
 from repro.core.selection import SelectionPolicy
 from repro.network.topology import Topology

@@ -5,12 +5,22 @@ function in :mod:`repro.experiments.suites` returning an
 :class:`~repro.experiments.reporting.Table`; the benchmark files under
 ``benchmarks/`` call them and print the tables, and EXPERIMENTS.md records
 the measured shapes.
+
+Batch infrastructure: :func:`~repro.experiments.parallel.replicate_parallel`
+fans seed replications over a fork-based worker pool (bit-identical to
+serial), :func:`~repro.experiments.parallel.run_batch` runs whole suites
+back to back, and :class:`~repro.experiments.store.ResultsStore` persists
+each run's config, seeds, wall time, and metric summaries as JSON under
+``benchmarks/results/`` — including the ``BENCH_<suite>.json`` reports CI
+uploads.
 """
 
 from repro.experiments.config import ClusterConfig, SweepConfig
 from repro.experiments.scenario import build_cluster, build_agent_system, mixed_fleet
 from repro.experiments.runner import replicate
+from repro.experiments.parallel import replicate_parallel, run_batch, run_suite
 from repro.experiments.reporting import Table
+from repro.experiments.store import Comparison, ResultsStore, RunRecord
 from repro.experiments import suites
 
 __all__ = [
@@ -20,6 +30,12 @@ __all__ = [
     "build_agent_system",
     "mixed_fleet",
     "replicate",
+    "replicate_parallel",
+    "run_batch",
+    "run_suite",
     "Table",
+    "Comparison",
+    "ResultsStore",
+    "RunRecord",
     "suites",
 ]

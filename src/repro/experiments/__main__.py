@@ -2,27 +2,41 @@
 
 Usage::
 
-    python -m repro.experiments                # run every suite (full sweep)
-    python -m repro.experiments E1 E3 E9       # run selected suites
-    python -m repro.experiments --quick E5     # fast smoke sweep
-    python -m repro.experiments --list         # list available suites
+    python -m repro.experiments                      # every suite (full sweep)
+    python -m repro.experiments E1 E3 E9             # run selected suites
+    python -m repro.experiments --quick --jobs 4 E5  # parallel smoke sweep
+    python -m repro.experiments --list               # list available suites
 
-Prints each experiment's table to stdout; exit code 0 on success.
+Each suite's table prints to stdout (or one JSON report with ``--json``),
+and every invocation persists a run record plus a machine-readable
+``BENCH_<suite>.json`` report under ``--out`` (default
+``benchmarks/results/``, disable with ``--no-save``); exit code 0 on
+success. Parallel runs (``--jobs``) are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import List, Optional
 
 from repro.experiments.config import SweepConfig
+from repro.experiments.parallel import run_batch
+from repro.experiments.store import DEFAULT_ROOT, ResultsStore, RunRecord
 from repro.experiments.suites import ALL_SUITES
 
 
-def main(argv: list[str] | None = None) -> int:
+def _suite_span() -> str:
+    ids = list(ALL_SUITES)
+    return f"{ids[0]}–{ids[-1]}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run the E1-E13 evaluation suites.",
+        description=f"Run the {_suite_span()} evaluation suites "
+                    f"({len(ALL_SUITES)} suites).",
     )
     parser.add_argument(
         "suites", nargs="*", metavar="ID",
@@ -35,6 +49,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seeds", type=int, default=8,
         help="number of replication seeds (default 8)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for seed replication (1 = serial, "
+             "0 or less = all cores); results are bit-identical to serial",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_ROOT), metavar="DIR",
+        help=f"results directory for run records and BENCH_<suite>.json "
+             f"reports (default {DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print one JSON report to stdout instead of tables",
+    )
+    parser.add_argument(
+        "--no-save", action="store_true",
+        help="do not persist run records or bench reports",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available suite ids and exit"
@@ -53,12 +85,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown suite id(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(ALL_SUITES)}", file=sys.stderr)
         return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
 
-    sweep = SweepConfig(seeds=tuple(range(1, args.seeds + 1)), quick=args.quick)
-    for name in names:
-        table = ALL_SUITES[name](sweep)
-        print(table.render())
+    sweep = SweepConfig(
+        seeds=tuple(range(1, args.seeds + 1)),
+        quick=args.quick,
+        jobs=args.jobs,
+    )
+    store = None if args.no_save else ResultsStore(args.out)
+
+    def echo(record: RunRecord) -> None:
+        if args.json:
+            return
+        print(record.table.render())
+        status = f"[{record.suite}: {record.wall_time_s:.2f}s wall, " \
+                 f"jobs={record.jobs}"
+        if store is not None:
+            status += f", bench → {store.bench_path(record.suite)}"
+        print(status + "]")
         print()
+
+    records = run_batch(names, sweep, store=store, echo=echo)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2))
     return 0
 
 

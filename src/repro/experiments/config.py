@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Tuple
+from typing import Mapping, Tuple
 
 from repro.resources.node import NodeClass
 
@@ -45,10 +45,14 @@ class SweepConfig:
     Attributes:
         seeds: Seeds to replicate each configuration over.
         quick: Shrinks sweeps for smoke tests (used by the test suite).
+        jobs: Worker processes for seed replication. ``1`` runs serially;
+            ``0`` uses every core. Parallel runs are bit-identical to
+            serial ones (see :mod:`repro.experiments.parallel`).
     """
 
     seeds: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
     quick: bool = False
+    jobs: int = 1
 
     @property
     def effective_seeds(self) -> Tuple[int, ...]:

@@ -11,7 +11,7 @@ on a character grid with axis labels and a legend.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 #: Plot glyphs assigned to series in order.
 _GLYPHS = "*o+x#@%"

@@ -1,0 +1,218 @@
+"""Parallel replication and the suite-level batch runner.
+
+The E-suites replicate every configuration over a seed sweep; this module
+fans those replications out over a ``multiprocessing`` worker pool and
+runs whole suites back to back, timing each one and persisting the
+results through :class:`~repro.experiments.store.ResultsStore`.
+
+Determinism contract
+--------------------
+Parallel results are **bit-identical** to serial results for the same
+seeds. Every replication callable derives *all* of its randomness from
+its own seed (via :class:`~repro.sim.rng.RngRegistry`), so a replication
+computes the same floats no matter which process runs it. The pool only
+changes *where* ``run(seed)`` executes, never *what* it computes, and
+rows are re-assembled in seed order before summarizing. Workers share no
+mutable state: each forked child re-seeds its own registries per task and
+communicates results back over a queue.
+
+The pool uses the ``fork`` start method so the closure-style ``run``
+callables the suites build (capturing sweep-point parameters as default
+arguments) need not be picklable. On platforms without ``fork`` the
+executor degrades to serial execution, preserving results exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_module
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.store import ResultsStore, RunRecord, new_run_record
+from repro.experiments.suites import ALL_SUITES
+from repro.metrics.stats import Summary
+
+RunFn = Callable[[int], Dict[str, float]]
+
+
+def available_jobs() -> int:
+    """Number of usable CPUs (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return available_jobs()
+    return int(jobs)
+
+
+def _fork_context() -> Optional[mp.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or ``None`` if unsupported."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return None
+
+
+def _worker(
+    run: RunFn,
+    tasks: Sequence[Tuple[int, int]],
+    results: "mp.Queue",
+) -> None:
+    """Evaluate ``run(seed)`` for each ``(index, seed)`` task.
+
+    Every outcome — row or exception — is reported back through the
+    queue so the parent can re-raise failures deterministically.
+    """
+    from repro.experiments.runner import run_replication
+
+    for index, seed in tasks:
+        try:
+            results.put((index, True, run_replication(run, seed)))
+        except BaseException as exc:  # noqa: BLE001 - relayed to parent
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(
+                    f"replication with seed {seed} failed with an "
+                    f"unpicklable {type(exc).__name__}:\n"
+                    + traceback.format_exc()
+                )
+            results.put((index, False, exc))
+
+
+def replicate_rows(
+    run: RunFn,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Run ``run(seed)`` for every seed, fanning out over ``jobs`` workers.
+
+    Returns the raw metric rows **in seed order**, regardless of which
+    worker finished first. Worker exceptions are re-raised in the parent,
+    earliest seed first, matching the serial failure order.
+    """
+    from repro.experiments.runner import run_replication
+
+    seeds = list(seeds)
+    jobs = min(resolve_jobs(jobs), len(seeds))
+    ctx = _fork_context()
+    if jobs <= 1 or len(seeds) <= 1 or ctx is None:
+        return [run_replication(run, seed) for seed in seeds]
+
+    results: "mp.Queue" = ctx.Queue()
+    indexed = list(enumerate(seeds))
+    workers = [
+        ctx.Process(
+            target=_worker, args=(run, indexed[w::jobs], results), daemon=True
+        )
+        for w in range(jobs)
+    ]
+    outcomes: Dict[int, Tuple[bool, object]] = {}
+    try:
+        for proc in workers:
+            proc.start()
+        while len(outcomes) < len(seeds):
+            try:
+                index, ok, payload = results.get(timeout=1.0)
+            except queue_module.Empty:
+                if all(not p.is_alive() for p in workers):
+                    # Workers may have finished between the timeout and the
+                    # liveness check; drain what they already flushed into
+                    # the pipe before declaring results lost.
+                    try:
+                        while len(outcomes) < len(seeds):
+                            index, ok, payload = results.get(timeout=0.2)
+                            outcomes[index] = (ok, payload)
+                    except queue_module.Empty:
+                        missing = len(seeds) - len(outcomes)
+                        raise RuntimeError(
+                            f"{missing} replication(s) lost: a worker "
+                            "process died without reporting a result"
+                        ) from None
+                continue
+            outcomes[index] = (ok, payload)
+        for proc in workers:
+            proc.join()
+    finally:
+        for proc in workers:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    for index in range(len(seeds)):
+        ok, payload = outcomes[index]
+        if not ok:
+            raise payload  # earliest-seed failure, as the serial path would
+    return [outcomes[index][1] for index in range(len(seeds))]  # type: ignore[misc]
+
+
+def replicate_parallel(
+    run: RunFn,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+) -> Dict[str, Summary]:
+    """Parallel :func:`~repro.experiments.runner.replicate`.
+
+    Fans the seeds over ``jobs`` forked workers and summarizes each
+    metric column; summaries are bit-identical to the serial path.
+    """
+    from repro.experiments.runner import summarize_replications
+
+    return summarize_replications(replicate_rows(run, seeds, jobs=jobs), seeds)
+
+
+# --------------------------------------------------------------------------
+# Suite-level batch runner
+# --------------------------------------------------------------------------
+
+
+def run_suite(name: str, sweep: SweepConfig = SweepConfig()) -> RunRecord:
+    """Run one E-suite under the sweep settings and time it.
+
+    Seed-level parallelism comes from ``sweep.jobs``; the wall time in
+    the returned record is the end-to-end suite duration.
+    """
+    if name not in ALL_SUITES:
+        raise KeyError(
+            f"unknown suite {name!r}; available: {', '.join(ALL_SUITES)}"
+        )
+    start = time.perf_counter()
+    table = ALL_SUITES[name](sweep)
+    wall_time_s = time.perf_counter() - start
+    return new_run_record(name, table, sweep, wall_time_s)
+
+
+def run_batch(
+    names: Sequence[str],
+    sweep: SweepConfig = SweepConfig(),
+    store: Optional[ResultsStore] = None,
+    echo: Optional[Callable[[RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Run several suites back to back, persisting each as it finishes.
+
+    Args:
+        names: Suite ids (keys of ``ALL_SUITES``) to run, in order.
+        sweep: Shared sweep settings (seeds, quick mode, jobs).
+        store: Destination for run records and ``BENCH_<suite>.json``
+            reports; ``None`` skips persistence.
+        echo: Per-record progress callback (e.g. table printing).
+
+    Returns:
+        One :class:`~repro.experiments.store.RunRecord` per suite.
+    """
+    records: List[RunRecord] = []
+    for name in names:
+        record = run_suite(name, sweep)
+        if store is not None:
+            store.save(record)
+            store.write_bench(record)
+        if echo is not None:
+            echo(record)
+        records.append(record)
+    return records

@@ -8,9 +8,22 @@ assert on the underlying ``rows`` data, never on formatting.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.metrics.stats import Summary
+
+
+def _encode_cell(value: Any) -> Any:
+    """A JSON-serializable form of one cell (scalars pass through)."""
+    if isinstance(value, Summary):
+        return {"__summary__": value.to_dict()}
+    return value
+
+
+def _decode_cell(value: Any) -> Any:
+    if isinstance(value, dict) and "__summary__" in value:
+        return Summary.from_dict(value["__summary__"])
+    return value
 
 
 def _format_cell(value: Any) -> str:
@@ -55,6 +68,32 @@ class Table:
         except ValueError:
             raise KeyError(f"no column {name!r}") from None
         return [row[idx] for row in self.rows]
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.title == other.title
+            and self.columns == other.columns
+            and self.caption == other.caption
+            and self.rows == other.rows
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form; :meth:`from_dict` round-trips it."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "caption": self.caption,
+            "rows": [[_encode_cell(c) for c in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Table":
+        table = cls(data["title"], data["columns"], caption=data["caption"])
+        for row in data["rows"]:
+            table.add_row(*(_decode_cell(c) for c in row))
+        return table
 
     def render(self) -> str:
         """The aligned monospace rendering."""

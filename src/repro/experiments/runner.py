@@ -1,33 +1,85 @@
-"""Seeded replication driver."""
+"""Seeded replication driver (serial and parallel).
+
+:func:`replicate` is the single entry point the suites use: with
+``jobs=1`` it runs the seeds in-process; with ``jobs != 1`` it delegates
+to the fork-based pool in :mod:`repro.experiments.parallel`. Both paths
+produce bit-identical summaries because every replication derives all of
+its randomness from its own seed.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.metrics.stats import Summary, describe
+from repro.sim.sequences import reset_all_sequences
+
+RunFn = Callable[[int], Dict[str, float]]
 
 
-def replicate(
-    run: Callable[[int], Dict[str, float]],
+def run_replication(run: RunFn, seed: int) -> Dict[str, float]:
+    """Run one replication from a clean process state.
+
+    Rewinds the process-wide id sequences first, so the replication is a
+    pure function of its seed — identical no matter what ran before it
+    in the process, or in which worker it executes.
+    """
+    reset_all_sequences()
+    return run(seed)
+
+
+def key_mismatch_error(
+    seed: int, row_keys: Iterable[str], expected: Iterable[str]
+) -> ValueError:
+    """The error raised when a replication returns inconsistent metrics."""
+    return ValueError(
+        f"replication with seed {seed} returned keys {sorted(row_keys)} "
+        f"!= expected {sorted(expected)}"
+    )
+
+
+def summarize_replications(
+    rows: Iterable[Dict[str, float]],
     seeds: Sequence[int],
 ) -> Dict[str, Summary]:
-    """Run ``run(seed)`` for every seed and summarize each metric column.
+    """Key-check rows in seed order and summarize each metric column.
 
     Every replication must return the same metric keys; missing keys are
     a configuration bug and raise immediately rather than silently
-    averaging over different supports.
+    averaging over different supports. ``rows`` may be lazy — the check
+    happens as each row is consumed.
     """
-    rows: List[Dict[str, float]] = []
+    checked: List[Dict[str, float]] = []
     keys = None
-    for seed in seeds:
-        row = run(seed)
+    for seed, row in zip(seeds, rows):
         if keys is None:
             keys = set(row)
         elif set(row) != keys:
-            raise ValueError(
-                f"replication with seed {seed} returned keys {sorted(row)} "
-                f"!= expected {sorted(keys)}"
-            )
-        rows.append(row)
+            raise key_mismatch_error(seed, row, keys)
+        checked.append(row)
     assert keys is not None, "no seeds provided"
-    return {k: describe([r[k] for r in rows]) for k in sorted(keys)}
+    return {k: describe([r[k] for r in checked]) for k in sorted(keys)}
+
+
+def replicate(
+    run: RunFn,
+    seeds: Sequence[int],
+    jobs: Optional[int] = 1,
+) -> Dict[str, Summary]:
+    """Run ``run(seed)`` for every seed and summarize each metric column.
+
+    Args:
+        run: Replication callable; must derive all randomness from its
+            seed argument (e.g. via an internal ``RngRegistry(seed)``).
+        seeds: Seeds to replicate over.
+        jobs: Worker processes. ``1`` runs serially in-process;
+            ``None``/``0`` use every core. Parallel summaries are
+            bit-identical to serial ones for the same seeds.
+    """
+    if jobs == 1 or len(seeds) <= 1:
+        return summarize_replications(
+            (run_replication(run, seed) for seed in seeds), seeds
+        )
+    from repro.experiments.parallel import replicate_rows
+
+    return summarize_replications(replicate_rows(run, seeds, jobs=jobs), seeds)

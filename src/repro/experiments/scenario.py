@@ -11,7 +11,6 @@ from repro.experiments.config import ClusterConfig
 from repro.network.mobility import MobilityModel, StaticPlacement
 from repro.network.radio import DiscRadio
 from repro.network.topology import Topology
-from repro.resources.capacity import Capacity
 from repro.resources.kinds import ResourceKind
 from repro.resources.node import NODE_CLASS_PROFILES, Node, NodeClass
 from repro.resources.provider import QoSProvider

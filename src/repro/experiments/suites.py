@@ -11,18 +11,17 @@ The mapping to the paper's claims is in DESIGN.md's per-experiment index.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.core import baselines
-from repro.core.coalition import Coalition
 from repro.core.evaluation import ProposalEvaluator, WeightScheme
 from repro.core.formulation import formulate
 from repro.core.negotiation import negotiate, release_coalition
 from repro.core.operation import run_operation_phase
 from repro.core.proposal import Proposal
-from repro.core.reward import LinearPenalty, local_reward
+from repro.core.reward import local_reward
 from repro.core.selection import SelectionPolicy
 from repro.experiments.config import ClusterConfig, SweepConfig
 from repro.experiments.reporting import Table
@@ -30,12 +29,9 @@ from repro.experiments.runner import replicate
 from repro.experiments.scenario import (
     build_agent_system,
     build_cluster,
-    mixed_fleet,
     uniform_fleet,
 )
-from repro.metrics.collector import collect_outcome_metrics
-from repro.metrics.stats import describe
-from repro.metrics.utility import allocation_utility, assignment_utility, outcome_utility
+from repro.metrics.utility import assignment_utility, outcome_utility
 from repro.network.mobility import RandomWaypoint
 from repro.network.radio import DiscRadio
 from repro.network.topology import Topology
@@ -46,7 +42,6 @@ from repro.resources.kinds import ResourceKind
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
 from repro.services import workload
-from repro.services.service import Service
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 
@@ -86,7 +81,7 @@ def e1_coalition_vs_single(sweep: SweepConfig = SweepConfig()) -> Table:
                 "coal_size": float(coal.coalition.size),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(
             n,
             summary["single_success"],
@@ -153,7 +148,7 @@ def e2_evaluation_quality(sweep: SweepConfig = SweepConfig()) -> Table:
                 "regret": max(utilities) - winner_u,
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(
             pool_size,
             summary["winner"],
@@ -252,7 +247,7 @@ def e3_degradation_reward(sweep: SweepConfig = SweepConfig()) -> Table:
                 "random_utility": rand_u,
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(
             fraction,
             summary["paper_reward"],
@@ -299,7 +294,7 @@ def e4_scalability(sweep: SweepConfig = SweepConfig()) -> Table:
                 "proposals": float(outcome.proposals_received),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(n, summary["messages"], summary["time"],
                       summary["success"], summary["proposals"])
     return table
@@ -374,7 +369,7 @@ def e5_mobility(sweep: SweepConfig = SweepConfig()) -> Table:
                 "lost": float(system.network.lost_count),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(speed, summary["success"], summary["utility"],
                       summary["candidates"], summary["partners"],
                       summary["lost"])
@@ -424,7 +419,7 @@ def e6_tiebreak_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "success": float(outcome.success),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(name, summary["distance"], summary["comm"],
                       summary["size"], summary["success"])
     return table
@@ -475,7 +470,7 @@ def e7_heterogeneity(sweep: SweepConfig = SweepConfig()) -> Table:
                 "success": float(coal.success),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(spread, summary["solo"], summary["coal"],
                       summary["gain"], summary["success"])
     return table
@@ -533,7 +528,7 @@ def e8_failure_recovery(sweep: SweepConfig = SweepConfig()) -> Table:
                 "recovery": reconfig_report.recovery_rate,
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(n_failures, summary["completed_reconfig"],
                       summary["completed_none"], summary["reconfigs"],
                       summary["recovery"])
@@ -637,7 +632,7 @@ def e9_weight_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "distance": float(np.mean(dists)),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(name, summary["protects_pct"], summary["top"],
                       summary["bottom"], summary["distance"])
     return table
@@ -708,7 +703,7 @@ def e10_offloading(sweep: SweepConfig = SweepConfig()) -> Table:
                 "coal_utility": outcome_utility(coal),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(k, summary["local_energy"], summary["coal_energy"],
                       summary["saved_pct"], summary["local_utility"],
                       summary["coal_utility"])
@@ -750,7 +745,7 @@ def e11_multihop(sweep: SweepConfig = SweepConfig()) -> Table:
                 "messages": float(outcome.message_count),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(hops, summary["candidates"], summary["success"],
                       summary["utility"], summary["messages"])
     return table
@@ -849,7 +844,7 @@ def e12_reputation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "flaky_pct": 100.0 * flaky_awards / max(total_awards, 1),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(mode, summary["first_try"], summary["late"],
                       summary["flaky_pct"])
     return table
@@ -931,7 +926,7 @@ def e13_battery_lifetime(sweep: SweepConfig = SweepConfig()) -> Table:
                 "served": float(served),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(mode, summary["jain"], summary["min_battery"],
                       summary["served"])
     return table
@@ -984,7 +979,7 @@ def e14_pipeline(sweep: SweepConfig = SweepConfig()) -> Table:
                 "reconfigs": float(report.reconfigurations),
             }
 
-        summary = replicate(run, sweep.effective_seeds)
+        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
         table.add_row(n_failures, summary["completed"], summary["makespan"],
                       summary["critical"], summary["reconfigs"])
     return table

@@ -9,8 +9,8 @@ standard simulation-study practice.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Sequence
 
 import numpy as np
 
@@ -31,6 +31,21 @@ class Summary:
 
     def __str__(self) -> str:
         return f"{self.mean:.4f} ± {self.ci_half_width:.4f} (n={self.n})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form; :meth:`from_dict` round-trips it."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Summary":
+        return cls(
+            mean=float(data["mean"]),
+            std=float(data["std"]),
+            ci_half_width=float(data["ci_half_width"]),
+            n=int(data["n"]),
+            minimum=float(data["minimum"]),
+            maximum=float(data["maximum"]),
+        )
 
 
 def describe(samples: Sequence[float]) -> Summary:

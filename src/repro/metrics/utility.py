@@ -15,7 +15,7 @@ contribute utility 0 — a service the user does not get has no value.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from repro.core.evaluation import ProposalEvaluator, WeightScheme
 from repro.core.negotiation import NegotiationOutcome

@@ -8,7 +8,7 @@ bandwidth + random jitter). Deterministic given the RNG stream.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,6 @@ is how the experiments count protocol messages.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -18,8 +17,9 @@ from repro.network.channel import ChannelModel
 from repro.network.topology import Topology
 from repro.sim.engine import Engine
 from repro.sim.events import Priority
+from repro.sim.sequences import Sequence
 
-_message_ids = itertools.count(1)
+_message_ids = Sequence()
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,7 @@ class Message:
     kind: str
     payload: Any
     size_kb: float = 1.0
-    mid: int = field(default_factory=lambda: next(_message_ids))
+    mid: int = field(default_factory=_message_ids.next)
     broadcast: bool = False
 
 

@@ -9,7 +9,7 @@ talk to them* (link bandwidth → communication-cost tie-break).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import networkx as nx
 

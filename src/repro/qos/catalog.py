@@ -11,7 +11,6 @@ and benchmarks.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.qos.attribute import Attribute
 from repro.qos.dependencies import Dependency, DependencySet

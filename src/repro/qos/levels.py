@@ -19,10 +19,9 @@ degradation steps without ever violating the spec's ``Deps``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.errors import DomainError, RequestError
-from repro.qos.domain import ContinuousDomain, DiscreteDomain
 from repro.qos.request import AttributePreference, ServiceRequest, ValueInterval
 from repro.qos.types import ValueType
 

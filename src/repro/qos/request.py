@@ -22,13 +22,11 @@ Lower index == more important, exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Sequence, Tuple, Union
+from typing import Any, Iterator, Sequence, Tuple, Union
 
 from repro.errors import RequestError
-from repro.qos.attribute import Attribute
-from repro.qos.domain import ContinuousDomain, DiscreteDomain
+from repro.qos.domain import DiscreteDomain
 from repro.qos.spec import QoSSpec
-from repro.qos.types import ValueType
 
 
 @dataclass(frozen=True)

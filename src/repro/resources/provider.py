@@ -15,7 +15,7 @@ agent-protocol plumbing lives in :mod:`repro.agents.provider`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Mapping, Tuple
 
 from repro.errors import CapacityExceededError, MappingError
 from repro.resources.capacity import Capacity

@@ -9,13 +9,13 @@ in :meth:`~repro.resources.manager.ResourceManager.release`.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.resources.capacity import Capacity
+from repro.sim.sequences import Sequence
 
-_reservation_ids = itertools.count(1)
+_reservation_ids = Sequence()
 
 
 @dataclass
@@ -39,7 +39,7 @@ class Reservation:
     holder: str
     amounts: Capacity
     granted_at: float
-    rid: int = field(default_factory=lambda: next(_reservation_ids))
+    rid: int = field(default_factory=_reservation_ids.next)
     released_at: Optional[float] = None
     expires_at: Optional[float] = None
 

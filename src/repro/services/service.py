@@ -10,7 +10,7 @@ be allocated across a coalition and executed in order (experiment E14).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from repro.services.task import Task

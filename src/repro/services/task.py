@@ -13,16 +13,16 @@ A task is what one coalition member executes. It bundles:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.qos.levels import DegradationLadder
 from repro.qos.request import ServiceRequest
 from repro.resources.capacity import Capacity
 from repro.resources.mapping import DemandModel
+from repro.sim.sequences import Sequence
 
-_task_seq = itertools.count(1)
+_task_seq = Sequence()
 
 
 @dataclass
@@ -49,7 +49,7 @@ class Task:
     @classmethod
     def fresh_id(cls, prefix: str = "task") -> str:
         """Generate a unique task id."""
-        return f"{prefix}-{next(_task_seq)}"
+        return f"{prefix}-{_task_seq.next()}"
 
     def ladder(self, float_steps: int = 8) -> DegradationLadder:
         """The degradation ladder of this task's request."""

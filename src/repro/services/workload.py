@@ -18,7 +18,6 @@ core premise), while a degraded surveillance feed fits a PDA alone.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +30,6 @@ from repro.qos.catalog import (
     SAMPLE_BITS,
     SAMPLING_RATE,
 )
-from repro.qos.request import ServiceRequest
 from repro.resources.capacity import Capacity
 from repro.resources.mapping import DemandModel, LinearDemandModel, TabularDemandModel
 from repro.services.service import Service

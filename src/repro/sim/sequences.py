@@ -1,0 +1,46 @@
+"""Resettable process-wide id sequences.
+
+Protocol objects — tasks, messages, negotiation sessions, reservations —
+draw human-readable unique ids from process-wide counters. Left alone,
+those counters make results depend on process *history*: the same seeded
+replication can return different ids (and, through id-based ordering,
+occasionally different outcomes) depending on what ran before it in the
+same process.
+
+The replication driver therefore calls :func:`reset_all_sequences`
+before every replication, making each run a pure function of its seed.
+That invariant is what the parallel runner's bit-identical guarantee
+builds on: a forked worker and the serial loop both start every
+replication from freshly rewound sequences, so it cannot matter where —
+or after what — a replication executes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+
+class Sequence:
+    """A process-wide id counter that :func:`reset_all_sequences` rewinds."""
+
+    _registry: List["Sequence"] = []
+
+    def __init__(self, start: int = 1) -> None:
+        self._start = start
+        self._counter = itertools.count(start)
+        Sequence._registry.append(self)
+
+    def next(self) -> int:
+        """The next id in the sequence."""
+        return next(self._counter)
+
+    def reset(self) -> None:
+        """Rewind to the start value."""
+        self._counter = itertools.count(self._start)
+
+
+def reset_all_sequences() -> None:
+    """Rewind every id sequence, isolating the next run from history."""
+    for sequence in Sequence._registry:
+        sequence.reset()

@@ -29,10 +29,11 @@ def test_cli_unknown_suite(capsys):
     assert "unknown suite" in capsys.readouterr().err
 
 
-def test_cli_runs_selected_suite(capsys):
-    assert cli_main(["--quick", "--seeds", "2", "E2"]) == 0
+def test_cli_runs_selected_suite(capsys, tmp_path):
+    assert cli_main(["--quick", "--seeds", "2", "--out", str(tmp_path), "E2"]) == 0
     out = capsys.readouterr().out
     assert "E2 — evaluator selection quality" in out
+    assert (tmp_path / "BENCH_E2.json").exists()
 
 
 # -- evaluator options through negotiate ------------------------------------
