@@ -6,19 +6,27 @@ function in :mod:`repro.experiments.suites` returning an
 ``benchmarks/`` call them and print the tables, and EXPERIMENTS.md records
 the measured shapes.
 
-Batch infrastructure: :func:`~repro.experiments.parallel.replicate_parallel`
-fans seed replications over a fork-based worker pool (bit-identical to
-serial), :func:`~repro.experiments.parallel.run_batch` runs whole suites
-back to back, and :class:`~repro.experiments.store.ResultsStore` persists
+Batch infrastructure: each suite decomposes into a
+:class:`~repro.experiments.plan.SuitePlan` of ``(sweep point, seed)``
+work units; :func:`~repro.experiments.parallel.run_batch` feeds the
+units of all requested suites to one shared fork-based
+:class:`~repro.experiments.parallel.Scheduler` (bit-identical to
+serial), and :class:`~repro.experiments.store.ResultsStore` persists
 each run's config, seeds, wall time, and metric summaries as JSON under
 ``benchmarks/results/`` — including the ``BENCH_<suite>.json`` reports CI
-uploads.
+uploads. The full pipeline is documented in ``docs/architecture.md``.
 """
 
 from repro.experiments.config import ClusterConfig, SweepConfig
 from repro.experiments.scenario import build_cluster, build_agent_system, mixed_fleet
 from repro.experiments.runner import replicate
-from repro.experiments.parallel import replicate_parallel, run_batch, run_suite
+from repro.experiments.plan import SuitePlan, SweepPoint, WorkUnit
+from repro.experiments.parallel import (
+    Scheduler,
+    replicate_parallel,
+    run_batch,
+    run_suite,
+)
 from repro.experiments.reporting import Table
 from repro.experiments.store import Comparison, ResultsStore, RunRecord
 from repro.experiments import suites
@@ -30,6 +38,10 @@ __all__ = [
     "build_agent_system",
     "mixed_fleet",
     "replicate",
+    "SuitePlan",
+    "SweepPoint",
+    "WorkUnit",
+    "Scheduler",
     "replicate_parallel",
     "run_batch",
     "run_suite",

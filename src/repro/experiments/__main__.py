@@ -11,7 +11,13 @@ Each suite's table prints to stdout (or one JSON report with ``--json``),
 and every invocation persists a run record plus a machine-readable
 ``BENCH_<suite>.json`` report under ``--out`` (default
 ``benchmarks/results/``, disable with ``--no-save``); exit code 0 on
-success. Parallel runs (``--jobs``) are bit-identical to serial ones.
+success.
+
+``--jobs N`` feeds every ``(suite, sweep point, seed)`` work unit of the
+whole invocation to one shared fork-based pool
+(:class:`~repro.experiments.parallel.Scheduler`), so workers stay busy
+across sweep points and suites — and results stay bit-identical to
+``--jobs 1``. The full flag reference lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -52,8 +58,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for seed replication (1 = serial, "
-             "0 or less = all cores); results are bit-identical to serial",
+        help="worker processes for the shared (suite, sweep point, seed) "
+             "work-unit pool (1 = serial, 0 or less = all cores, clamped "
+             "to the pending unit count); results are bit-identical to "
+             "serial",
     )
     parser.add_argument(
         "--out", default=str(DEFAULT_ROOT), metavar="DIR",

@@ -45,9 +45,12 @@ class SweepConfig:
     Attributes:
         seeds: Seeds to replicate each configuration over.
         quick: Shrinks sweeps for smoke tests (used by the test suite).
-        jobs: Worker processes for seed replication. ``1`` runs serially;
-            ``0`` uses every core. Parallel runs are bit-identical to
-            serial ones (see :mod:`repro.experiments.parallel`).
+        jobs: Worker processes. ``1`` runs serially; ``0`` uses every
+            core. In a batch run the value sizes the *shared* work-unit
+            pool spanning all sweep points and suites; in a direct suite
+            call it fans out the seeds of each point. Either way,
+            parallel runs are bit-identical to serial ones (see
+            :mod:`repro.experiments.parallel`).
     """
 
     seeds: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)

@@ -2,19 +2,26 @@
 
 :func:`replicate` is the single entry point the suites use: with
 ``jobs=1`` it runs the seeds in-process; with ``jobs != 1`` it delegates
-to the fork-based pool in :mod:`repro.experiments.parallel`. Both paths
-produce bit-identical summaries because every replication derives all of
-its randomness from its own seed.
+to the fork-based scheduler in :mod:`repro.experiments.parallel`.
+
+Determinism contract
+--------------------
+Both paths produce bit-identical summaries because every replication is
+a pure function of its seed: all randomness comes from the seed's own
+:class:`~repro.sim.rng.RngRegistry`, :func:`run_replication` rewinds the
+process-wide id sequences before each run, and rows are always consumed
+in seed order by :func:`summarize_replications` no matter which worker
+produced them first. See ``docs/architecture.md`` for the full data
+flow of a replication.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.experiments.plan import RunFn
 from repro.metrics.stats import Summary, describe
 from repro.sim.sequences import reset_all_sequences
-
-RunFn = Callable[[int], Dict[str, float]]
 
 
 def run_replication(run: RunFn, seed: int) -> Dict[str, float]:
@@ -45,12 +52,18 @@ def summarize_replications(
     """Key-check rows in seed order and summarize each metric column.
 
     Every replication must return the same metric keys; missing keys are
-    a configuration bug and raise immediately rather than silently
-    averaging over different supports. ``rows`` may be lazy — the check
-    happens as each row is consumed.
+    a configuration bug and raise rather than silently averaging over
+    different supports. ``rows`` may be lazy; it is fully materialized
+    here. A row count different from the seed count (a reduce plumbing
+    bug) also raises rather than silently summarizing a truncated zip.
     """
     checked: List[Dict[str, float]] = []
     keys = None
+    rows = list(rows)
+    if len(rows) != len(seeds):
+        raise ValueError(
+            f"got {len(rows)} replication rows for {len(seeds)} seeds"
+        )
     for seed, row in zip(seeds, rows):
         if keys is None:
             keys = set(row)
@@ -70,11 +83,16 @@ def replicate(
 
     Args:
         run: Replication callable; must derive all randomness from its
-            seed argument (e.g. via an internal ``RngRegistry(seed)``).
+            seed argument (e.g. via an internal ``RngRegistry(seed)``),
+            so that it computes the same floats in any process, in any
+            order — the precondition for the determinism contract.
         seeds: Seeds to replicate over.
         jobs: Worker processes. ``1`` runs serially in-process;
-            ``None``/``0`` use every core. Parallel summaries are
-            bit-identical to serial ones for the same seeds.
+            ``None``/``0`` use every core (clamped to ``len(seeds)``).
+
+    Determinism contract: for the same ``run`` and ``seeds``, every
+    ``jobs`` value yields bit-identical summaries — parallelism changes
+    wall time only, never results.
     """
     if jobs == 1 or len(seeds) <= 1:
         return summarize_replications(

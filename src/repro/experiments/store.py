@@ -12,6 +12,16 @@ Records round-trip losslessly (``save`` → ``load`` → ``compare`` reports
 *identical*), which is how the determinism guarantee of the parallel
 runner is checked: run a suite serially and in parallel, then compare
 the two records cell by cell.
+
+Under the shared work-queue scheduler
+(:mod:`repro.experiments.parallel`), a record's table is assembled from
+work-unit results that may have completed out of order on any worker;
+the reduce step re-orders them by (sweep point, seed) first, so the
+persisted tables — and therefore ``compare`` — never see scheduling
+effects. Only ``wall_time_s`` reflects scheduling: it spans the suite's
+first unit starting → its last unit completing, and since suites in a
+``jobs > 1`` batch share the pool and interleave, those spans overlap
+rather than add up.
 """
 
 from __future__ import annotations
@@ -26,7 +36,9 @@ from repro.experiments.config import SweepConfig
 from repro.experiments.reporting import Table
 from repro.metrics.stats import Summary
 
-#: Default results root, relative to the repository checkout.
+#: Default results root, relative to the *current working directory*
+#: (run the CLI from the repo root — or pass ``--out`` — so artifacts
+#: land in the checkout's ``benchmarks/results/``).
 DEFAULT_ROOT = Path("benchmarks") / "results"
 
 #: Schema version stamped into every persisted record.
@@ -35,7 +47,15 @@ SCHEMA_VERSION = 1
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One suite invocation: config, timing, and the result table."""
+    """One suite invocation: config, timing, and the result table.
+
+    ``wall_time_s`` spans the suite's first work unit starting → its
+    last unit completing. Serially that is exactly the suite's own
+    duration; in a shared-pool batch
+    (:func:`repro.experiments.parallel.run_batch`) suites execute
+    interleaved, so spans overlap across suites. Timing is *excluded*
+    from :meth:`ResultsStore.compare`, which only judges results.
+    """
 
     suite: str
     run_id: str
@@ -120,6 +140,11 @@ class Comparison:
 
 class ResultsStore:
     """Directory-backed store of experiment run records.
+
+    The store is the determinism contract's referee: ``BENCH_<suite>.json``
+    written by a ``--jobs N`` run must load back equal (per
+    :meth:`compare`) to the one written by a serial run, which CI
+    asserts on every push.
 
     Args:
         root: Results directory (created on first write). Defaults to

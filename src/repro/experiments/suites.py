@@ -1,17 +1,28 @@
 """The E1–E14 experiment suites (the paper’s missing evaluation section).
 
-Each function runs one experiment and returns a
-:class:`~repro.experiments.reporting.Table`. Benchmarks print the tables;
-EXPERIMENTS.md records the shapes. Every suite takes a
-:class:`~repro.experiments.config.SweepConfig` so the test suite can run
-them in quick mode.
+Each suite is written as a *plan builder*: a function taking a
+:class:`~repro.experiments.config.SweepConfig` and returning a
+:class:`~repro.experiments.plan.SuitePlan` — the empty result table plus
+one :class:`~repro.experiments.plan.SweepPoint` per row, each carrying
+its replication callable. Two consumers exist:
 
-The mapping to the paper's claims is in DESIGN.md's per-experiment index.
+* the public ``Table``-returning callables in :data:`ALL_SUITES`
+  (``e1_coalition_vs_single`` ...), which run the plan point by point —
+  the interface the benchmarks and tests call directly;
+* the shared work-queue scheduler
+  (:func:`~repro.experiments.parallel.run_batch`), which flattens the
+  plans of a whole batch into ``(suite, sweep_point, seed)`` work units
+  and fans them over one pool, filling idle workers across sweep points
+  and suites.
+
+Both paths produce bit-identical tables. Benchmarks print the tables,
+and ``docs/experiments.md`` documents what each suite measures, its
+sweep axis, and the paper claim it checks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -24,8 +35,8 @@ from repro.core.proposal import Proposal
 from repro.core.reward import local_reward
 from repro.core.selection import SelectionPolicy
 from repro.experiments.config import ClusterConfig, SweepConfig
+from repro.experiments.plan import SuitePlan, SweepPoint, run_plan
 from repro.experiments.reporting import Table
-from repro.experiments.runner import replicate
 from repro.experiments.scenario import (
     build_agent_system,
     build_cluster,
@@ -46,12 +57,30 @@ from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 
 
+def _table_suite(
+    builder: Callable[[SweepConfig], SuitePlan], name: str
+) -> Callable[[SweepConfig], Table]:
+    """The public ``Table``-returning callable for a plan builder.
+
+    Keeps the PR 1 interface (``suite(sweep) -> Table``) working for
+    benchmarks and tests while the scheduler consumes the plans.
+    """
+
+    def suite(sweep: SweepConfig = SweepConfig()) -> Table:
+        return run_plan(builder(sweep), sweep)
+
+    suite.__name__ = name
+    suite.__qualname__ = name
+    suite.__doc__ = builder.__doc__
+    return suite
+
+
 # ==========================================================================
 # E1 — coalition vs single node across neighborhood sizes
 # ==========================================================================
 
 
-def e1_coalition_vs_single(sweep: SweepConfig = SweepConfig()) -> Table:
+def e1_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§1, §4.1): coalitions satisfy requests a single node cannot.
 
     A weak (phone-class) requester asks for full-quality movie playback.
@@ -66,6 +95,7 @@ def e1_coalition_vs_single(sweep: SweepConfig = SweepConfig()) -> Table:
         caption="Mean over seeds; utility in [0,1], 1 = every attribute at "
                 "the user's preferred value.",
     )
+    points = []
     for n in sizes:
         def run(seed: int, n=n) -> Dict[str, float]:
             config = ClusterConfig(n_nodes=n)
@@ -81,16 +111,12 @@ def e1_coalition_vs_single(sweep: SweepConfig = SweepConfig()) -> Table:
                 "coal_size": float(coal.coalition.size),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(
-            n,
-            summary["single_success"],
-            summary["single_utility"],
-            summary["coal_success"],
-            summary["coal_utility"],
-            summary["coal_size"],
-        )
-    return table
+        points.append(SweepPoint(
+            label=n, run=run,
+            keys=("single_success", "single_utility", "coal_success",
+                  "coal_utility", "coal_size"),
+        ))
+    return SuitePlan("E1", table, points)
 
 
 # ==========================================================================
@@ -110,7 +136,7 @@ def _random_admissible_proposal(
     return Proposal(task_id=task_id, node_id=node_id, values=values)
 
 
-def e2_evaluation_quality(sweep: SweepConfig = SweepConfig()) -> Table:
+def e2_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§6): the distance evaluator selects the proposal whose
     values are closest to the user's preferences.
 
@@ -127,6 +153,7 @@ def e2_evaluation_quality(sweep: SweepConfig = SweepConfig()) -> Table:
                 "evaluator is exactly the utility metric's argmin.",
     )
     evaluator = ProposalEvaluator(request)
+    points = []
     for pool_size in pool_sizes:
         def run(seed: int, pool_size=pool_size) -> Dict[str, float]:
             rng = RngRegistry(seed).stream("e2")
@@ -148,16 +175,11 @@ def e2_evaluation_quality(sweep: SweepConfig = SweepConfig()) -> Table:
                 "regret": max(utilities) - winner_u,
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(
-            pool_size,
-            summary["winner"],
-            summary["random"],
-            summary["best"],
-            summary["worst"],
-            summary["regret"],
-        )
-    return table
+        points.append(SweepPoint(
+            label=pool_size, run=run,
+            keys=("winner", "random", "best", "worst", "regret"),
+        ))
+    return SuitePlan("E2", table, points)
 
 
 # ==========================================================================
@@ -217,7 +239,7 @@ def _degrade_until_schedulable(
     return reward, utility, feasible
 
 
-def e3_degradation_reward(sweep: SweepConfig = SweepConfig()) -> Table:
+def e3_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§5, eq. 1): minimum-reward-decrease degradation retains more
     reward/utility than uninformed degradation under the same load.
     """
@@ -233,6 +255,7 @@ def e3_degradation_reward(sweep: SweepConfig = SweepConfig()) -> Table:
                 "only the worst acceptable one); lower = more degradation "
                 "forced.",
     )
+    points = []
     for fraction in fractions:
         def run(seed: int, fraction=fraction) -> Dict[str, float]:
             rng = RngRegistry(seed).stream("e3")
@@ -247,16 +270,12 @@ def e3_degradation_reward(sweep: SweepConfig = SweepConfig()) -> Table:
                 "random_utility": rand_u,
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(
-            fraction,
-            summary["paper_reward"],
-            summary["random_reward"],
-            summary["rr_reward"],
-            summary["paper_utility"],
-            summary["random_utility"],
-        )
-    return table
+        points.append(SweepPoint(
+            label=fraction, run=run,
+            keys=("paper_reward", "random_reward", "rr_reward",
+                  "paper_utility", "random_utility"),
+        ))
+    return SuitePlan("E3", table, points)
 
 
 # ==========================================================================
@@ -264,7 +283,7 @@ def e3_degradation_reward(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e4_scalability(sweep: SweepConfig = SweepConfig()) -> Table:
+def e4_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§1, §4.2): the distributed protocol scales with node count.
 
     Agent-based negotiation on the simulated network; messages should grow
@@ -278,6 +297,7 @@ def e4_scalability(sweep: SweepConfig = SweepConfig()) -> Table:
         caption="Messages counted end-to-end (CFP copies + proposals + "
                 "awards); sim time = CFP broadcast to outcome delivery.",
     )
+    points = []
     for n in sizes:
         def run(seed: int, n=n) -> Dict[str, float]:
             config = ClusterConfig(n_nodes=n, area=100.0)
@@ -294,10 +314,11 @@ def e4_scalability(sweep: SweepConfig = SweepConfig()) -> Table:
                 "proposals": float(outcome.proposals_received),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(n, summary["messages"], summary["time"],
-                      summary["success"], summary["proposals"])
-    return table
+        points.append(SweepPoint(
+            label=n, run=run,
+            keys=("messages", "time", "success", "proposals"),
+        ))
+    return SuitePlan("E4", table, points)
 
 
 # ==========================================================================
@@ -305,7 +326,7 @@ def e4_scalability(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e5_mobility(sweep: SweepConfig = SweepConfig()) -> Table:
+def e5_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§1): coalitions form opportunistically "as nodes move in
     range of each other".
 
@@ -332,6 +353,7 @@ def e5_mobility(sweep: SweepConfig = SweepConfig()) -> Table:
                 "loses more messages in flight (churn).",
     )
     n_requests = 4 if sweep.quick else 8
+    points = []
     for speed in speeds:
         def run(seed: int, speed=speed) -> Dict[str, float]:
             registry = RngRegistry(seed)
@@ -369,11 +391,11 @@ def e5_mobility(sweep: SweepConfig = SweepConfig()) -> Table:
                 "lost": float(system.network.lost_count),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(speed, summary["success"], summary["utility"],
-                      summary["candidates"], summary["partners"],
-                      summary["lost"])
-    return table
+        points.append(SweepPoint(
+            label=speed, run=run,
+            keys=("success", "utility", "candidates", "partners", "lost"),
+        ))
+    return SuitePlan("E5", table, points)
 
 
 # ==========================================================================
@@ -381,7 +403,7 @@ def e5_mobility(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e6_tiebreak_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
+def e6_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§4.2): the comm-cost and coalition-size tie-breaks cut
     operational overhead without sacrificing QoS distance.
     """
@@ -401,6 +423,7 @@ def e6_tiebreak_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
     # Coarser distance resolution makes ties frequent enough to observe
     # the tie-breaks with a synthetic workload (equal capacities → many
     # nodes propose identical levels).
+    points = []
     for name, policy in policies.items():
         def run(seed: int, policy=policy) -> Dict[str, float]:
             config = ClusterConfig(n_nodes=16, requester_class=NodeClass.PDA, area=140.0)
@@ -419,10 +442,11 @@ def e6_tiebreak_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "success": float(outcome.success),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(name, summary["distance"], summary["comm"],
-                      summary["size"], summary["success"])
-    return table
+        points.append(SweepPoint(
+            label=name, run=run,
+            keys=("distance", "comm", "size", "success"),
+        ))
+    return SuitePlan("E6", table, points)
 
 
 # ==========================================================================
@@ -430,7 +454,7 @@ def e6_tiebreak_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e7_heterogeneity(sweep: SweepConfig = SweepConfig()) -> Table:
+def e7_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§7): groups of different capability mixes differ in service
     efficiency; coalitions exploit heterogeneity.
 
@@ -447,6 +471,7 @@ def e7_heterogeneity(sweep: SweepConfig = SweepConfig()) -> Table:
         caption="10 nodes, mean CPU 200 (PDA-level); the movie workload "
                 "needs ~340 CPU at full quality.",
     )
+    points = []
     for spread in spreads:
         def run(seed: int, spread=spread) -> Dict[str, float]:
             registry = RngRegistry(seed)
@@ -470,10 +495,11 @@ def e7_heterogeneity(sweep: SweepConfig = SweepConfig()) -> Table:
                 "success": float(coal.success),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(spread, summary["solo"], summary["coal"],
-                      summary["gain"], summary["success"])
-    return table
+        points.append(SweepPoint(
+            label=spread, run=run,
+            keys=("solo", "coal", "gain", "success"),
+        ))
+    return SuitePlan("E7", table, points)
 
 
 # ==========================================================================
@@ -481,7 +507,7 @@ def e7_heterogeneity(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e8_failure_recovery(sweep: SweepConfig = SweepConfig()) -> Table:
+def e8_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§4): the operation phase reconfigures coalitions on partial
     failures.
 
@@ -496,6 +522,7 @@ def e8_failure_recovery(sweep: SweepConfig = SweepConfig()) -> Table:
         caption="Completed = fraction of tasks finishing; failures hit the "
                 "busiest coalition members halfway through execution.",
     )
+    points = []
     for n_failures in failure_counts:
         def run(seed: int, n_failures=n_failures) -> Dict[str, float]:
             results = {}
@@ -528,11 +555,12 @@ def e8_failure_recovery(sweep: SweepConfig = SweepConfig()) -> Table:
                 "recovery": reconfig_report.recovery_rate,
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(n_failures, summary["completed_reconfig"],
-                      summary["completed_none"], summary["reconfigs"],
-                      summary["recovery"])
-    return table
+        points.append(SweepPoint(
+            label=n_failures, run=run,
+            keys=("completed_reconfig", "completed_none", "reconfigs",
+                  "recovery"),
+        ))
+    return SuitePlan("E8", table, points)
 
 
 # ==========================================================================
@@ -540,7 +568,7 @@ def e8_failure_recovery(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e9_weight_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
+def e9_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§6, eq. 3): positional weights make the evaluator respect
     the user's importance order.
 
@@ -601,6 +629,7 @@ def e9_weight_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
                               values=degraded(bottom_dim))
         return bad_top, bad_bottom
 
+    points = []
     for name, evaluator in evaluators.items():
         def run(seed: int, evaluator=evaluator) -> Dict[str, float]:
             rng = RngRegistry(seed).stream("e9")
@@ -632,10 +661,11 @@ def e9_weight_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "distance": float(np.mean(dists)),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(name, summary["protects_pct"], summary["top"],
-                      summary["bottom"], summary["distance"])
-    return table
+        points.append(SweepPoint(
+            label=name, run=run,
+            keys=("protects_pct", "top", "bottom", "distance"),
+        ))
+    return SuitePlan("E9", table, points)
 
 
 # ==========================================================================
@@ -649,7 +679,7 @@ def e9_weight_ablation(sweep: SweepConfig = SweepConfig()) -> Table:
 TRANSFER_ENERGY_PER_KB = 0.1
 
 
-def e10_offloading(sweep: SweepConfig = SweepConfig()) -> Table:
+def e10_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Claim (§1, §7): offloading to nearby stronger nodes saves the weak
     device time and battery, net of the extra data communication.
     """
@@ -663,6 +693,7 @@ def e10_offloading(sweep: SweepConfig = SweepConfig()) -> Table:
                 "runs spend the fully-degraded energy (when even that "
                 "fits) or mark the service failed.",
     )
+    points = []
     for k in neighbor_counts:
         def run(seed: int, k=k) -> Dict[str, float]:
             registry = RngRegistry(seed)
@@ -703,11 +734,12 @@ def e10_offloading(sweep: SweepConfig = SweepConfig()) -> Table:
                 "coal_utility": outcome_utility(coal),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(k, summary["local_energy"], summary["coal_energy"],
-                      summary["saved_pct"], summary["local_utility"],
-                      summary["coal_utility"])
-    return table
+        points.append(SweepPoint(
+            label=k, run=run,
+            keys=("local_energy", "coal_energy", "saved_pct",
+                  "local_utility", "coal_utility"),
+        ))
+    return SuitePlan("E10", table, points)
 
 
 # ==========================================================================
@@ -715,7 +747,7 @@ def e10_offloading(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e11_multihop(sweep: SweepConfig = SweepConfig()) -> Table:
+def e11_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Extension of §1's scope ("encompass fixed set of nodes, even
     clusters"): the paper's CFP is one-hop; relaying it k hops reaches
     nodes beyond radio range of the requester.
@@ -731,6 +763,7 @@ def e11_multihop(sweep: SweepConfig = SweepConfig()) -> Table:
                 "cost uses the best multi-hop route. One hop is the "
                 "paper's broadcast.",
     )
+    points = []
     for hops in hop_budgets:
         def run(seed: int, hops=hops) -> Dict[str, float]:
             config = ClusterConfig(n_nodes=16, area=420.0)
@@ -745,10 +778,11 @@ def e11_multihop(sweep: SweepConfig = SweepConfig()) -> Table:
                 "messages": float(outcome.message_count),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(hops, summary["candidates"], summary["success"],
-                      summary["utility"], summary["messages"])
-    return table
+        points.append(SweepPoint(
+            label=hops, run=run,
+            keys=("candidates", "success", "utility", "messages"),
+        ))
+    return SuitePlan("E11", table, points)
 
 
 # ==========================================================================
@@ -756,7 +790,7 @@ def e11_multihop(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e12_reputation(sweep: SweepConfig = SweepConfig()) -> Table:
+def e12_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Extension (paper cites trust-based coalition formation [4]): feed
     operation-phase failure observations back into partner selection.
 
@@ -778,6 +812,7 @@ def e12_reputation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "'flaky awards %' = share of awards given to flaky nodes.",
     )
     n_rounds = 6 if sweep.quick else 12
+    points = []
     for mode in modes:
         def run(seed: int, mode=mode) -> Dict[str, float]:
             registry = RngRegistry(seed)
@@ -844,10 +879,11 @@ def e12_reputation(sweep: SweepConfig = SweepConfig()) -> Table:
                 "flaky_pct": 100.0 * flaky_awards / max(total_awards, 1),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(mode, summary["first_try"], summary["late"],
-                      summary["flaky_pct"])
-    return table
+        points.append(SweepPoint(
+            label=mode, run=run,
+            keys=("first_try", "late", "flaky_pct"),
+        ))
+    return SuitePlan("E12", table, points)
 
 
 # ==========================================================================
@@ -855,7 +891,7 @@ def e12_reputation(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e13_battery_lifetime(sweep: SweepConfig = SweepConfig()) -> Table:
+def e13_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Extension of the §1/§7 energy motivation: spread energy drain
     across batteries.
 
@@ -879,6 +915,7 @@ def e13_battery_lifetime(sweep: SweepConfig = SweepConfig()) -> Table:
                 "1/6 = one node carried everything. Total rounds is "
                 "energy-conserved and should match across policies.",
     )
+    points = []
     for mode in modes:
         def run(seed: int, mode=mode) -> Dict[str, float]:
             helper_cap = Capacity.of(
@@ -926,10 +963,11 @@ def e13_battery_lifetime(sweep: SweepConfig = SweepConfig()) -> Table:
                 "served": float(served),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(mode, summary["jain"], summary["min_battery"],
-                      summary["served"])
-    return table
+        points.append(SweepPoint(
+            label=mode, run=run,
+            keys=("jain", "min_battery", "served"),
+        ))
+    return SuitePlan("E13", table, points)
 
 
 # ==========================================================================
@@ -937,7 +975,7 @@ def e13_battery_lifetime(sweep: SweepConfig = SweepConfig()) -> Table:
 # ==========================================================================
 
 
-def e14_pipeline(sweep: SweepConfig = SweepConfig()) -> Table:
+def e14_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     """Extension of §4.1's "(for now) independent tasks": a three-stage
     media pipeline with precedence edges, executed by a coalition.
 
@@ -954,6 +992,7 @@ def e14_pipeline(sweep: SweepConfig = SweepConfig()) -> Table:
         caption="Stage duration 8 s; critical path = 24 s. A failure hits "
                 "the decode stage's executor 4 s after the stage starts.",
     )
+    points = []
     for n_failures in (0, 1):
         def run(seed: int, n_failures=n_failures) -> Dict[str, float]:
             config = ClusterConfig(n_nodes=10, area=100.0)
@@ -979,11 +1018,47 @@ def e14_pipeline(sweep: SweepConfig = SweepConfig()) -> Table:
                 "reconfigs": float(report.reconfigurations),
             }
 
-        summary = replicate(run, sweep.effective_seeds, jobs=sweep.jobs)
-        table.add_row(n_failures, summary["completed"], summary["makespan"],
-                      summary["critical"], summary["reconfigs"])
-    return table
+        points.append(SweepPoint(
+            label=n_failures, run=run,
+            keys=("completed", "makespan", "critical", "reconfigs"),
+        ))
+    return SuitePlan("E14", table, points)
 
+
+#: Plan builders, keyed by experiment id — what the shared work-queue
+#: scheduler (:func:`repro.experiments.parallel.run_batch`) consumes.
+SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
+    "E1": e1_plan,
+    "E2": e2_plan,
+    "E3": e3_plan,
+    "E4": e4_plan,
+    "E5": e5_plan,
+    "E6": e6_plan,
+    "E7": e7_plan,
+    "E8": e8_plan,
+    "E9": e9_plan,
+    "E10": e10_plan,
+    "E11": e11_plan,
+    "E12": e12_plan,
+    "E13": e13_plan,
+    "E14": e14_plan,
+}
+
+# The PR 1 public interface: each suite as a Table-returning callable.
+e1_coalition_vs_single = _table_suite(e1_plan, "e1_coalition_vs_single")
+e2_evaluation_quality = _table_suite(e2_plan, "e2_evaluation_quality")
+e3_degradation_reward = _table_suite(e3_plan, "e3_degradation_reward")
+e4_scalability = _table_suite(e4_plan, "e4_scalability")
+e5_mobility = _table_suite(e5_plan, "e5_mobility")
+e6_tiebreak_ablation = _table_suite(e6_plan, "e6_tiebreak_ablation")
+e7_heterogeneity = _table_suite(e7_plan, "e7_heterogeneity")
+e8_failure_recovery = _table_suite(e8_plan, "e8_failure_recovery")
+e9_weight_ablation = _table_suite(e9_plan, "e9_weight_ablation")
+e10_offloading = _table_suite(e10_plan, "e10_offloading")
+e11_multihop = _table_suite(e11_plan, "e11_multihop")
+e12_reputation = _table_suite(e12_plan, "e12_reputation")
+e13_battery_lifetime = _table_suite(e13_plan, "e13_battery_lifetime")
+e14_pipeline = _table_suite(e14_plan, "e14_pipeline")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
