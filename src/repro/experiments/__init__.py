@@ -1,7 +1,9 @@
 """Experiment harness: scenarios, replication runner, reporting, suites.
 
-Each experiment E1–E14 (see DESIGN.md's per-experiment index) is a
-function in :mod:`repro.experiments.suites` returning an
+Each experiment suite (E1–E14 in :mod:`repro.experiments.suites`,
+E15–E17 in :mod:`repro.experiments.workload_suites` — see
+``docs/experiments.md`` for the per-suite index) is a
+function registered in :data:`repro.experiments.suites.ALL_SUITES` returning an
 :class:`~repro.experiments.reporting.Table`; the benchmark files under
 ``benchmarks/`` call them and print the tables, and EXPERIMENTS.md records
 the measured shapes.

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments E1 E3 E9             # run selected suites
     python -m repro.experiments --quick --jobs 4 E5  # parallel smoke sweep
     python -m repro.experiments --list               # list available suites
+    python -m repro.experiments --list-scenarios     # named contention scenarios
 
 Each suite's table prints to stdout (or one JSON report with ``--json``),
 and every invocation persists a run record plus a machine-readable
@@ -34,6 +35,8 @@ from repro.experiments.suites import ALL_SUITES
 
 
 def _suite_span() -> str:
+    """``"E1–EN"``, computed from :data:`ALL_SUITES` so the CLI's
+    self-description can never drift when suites are added."""
     ids = list(ALL_SUITES)
     return f"{ids[0]}–{ids[-1]}"
 
@@ -46,7 +49,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "suites", nargs="*", metavar="ID",
-        help="experiment ids to run (default: all)",
+        help=f"experiment ids to run ({_suite_span()}; default: all)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -79,12 +82,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available suite ids and exit"
     )
+    parser.add_argument(
+        "--list-scenarios", action="store_true",
+        help="list the named contention scenarios of the workload registry "
+             "(repro.workloads.registry) and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
+        print(f"{len(ALL_SUITES)} suites ({_suite_span()}):")
         for name, fn in ALL_SUITES.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:>4}  {doc}")
+        return 0
+
+    if args.list_scenarios:
+        from repro.workloads.registry import list_scenarios
+
+        scenarios = list_scenarios()
+        print(f"{len(scenarios)} scenarios:")
+        for spec in scenarios:
+            print(f"{spec.name:>18}  {spec.description}")
         return 0
 
     names = args.suites or list(ALL_SUITES)

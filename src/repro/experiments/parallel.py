@@ -7,7 +7,7 @@ module replaces that per-``replicate`` pool with a single fork-based
 :class:`Scheduler` that consumes ``(suite, sweep_point, seed)``
 :class:`~repro.experiments.plan.WorkUnit` triples across an entire
 batch: workers pull units from one shared queue, so ``E1 --jobs 16`` and
-full E1–E14 runs saturate every worker regardless of per-point seed
+full E1–E17 runs saturate every worker regardless of per-point seed
 counts.
 
 Determinism contract

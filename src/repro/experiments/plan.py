@@ -77,7 +77,8 @@ class SuitePlan:
     """A suite decomposed into an empty table plus its sweep points.
 
     Args:
-        suite: Suite id (``"E1"`` ... ``"E14"``).
+        suite: Suite id (a :data:`repro.experiments.suites.SUITE_PLANS`
+            key, ``"E1"``, ``"E15"``, ...).
         table: The result table, with title/columns/caption set and no
             rows; :meth:`add_point_row` fills it point by point.
         points: The sweep points, in table-row order.

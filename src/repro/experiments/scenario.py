@@ -17,6 +17,23 @@ from repro.resources.provider import QoSProvider
 from repro.sim.rng import RngRegistry
 
 
+def _append_mixed_helpers(
+    nodes: List[Node], config: ClusterConfig, rng: np.random.Generator
+) -> List[Node]:
+    """Fill ``nodes`` up to ``config.n_nodes`` with class-mix draws.
+
+    The single home of the weighted class draw, so the per-draw rng
+    consumption of every fleet builder is identical by construction.
+    """
+    classes = list(config.mix.keys())
+    weights = np.asarray([config.mix[c] for c in classes], dtype=float)
+    weights = weights / weights.sum()
+    for i in range(config.n_nodes - len(nodes)):
+        cls = classes[int(rng.choice(len(classes), p=weights))]
+        nodes.append(Node(f"n{i}", node_class=cls))
+    return nodes
+
+
 def mixed_fleet(
     config: ClusterConfig,
     rng: np.random.Generator,
@@ -29,14 +46,53 @@ def mixed_fleet(
     """
     if config.n_nodes < 1:
         raise ValueError("need at least one node")
-    nodes = [Node(requester_id, node_class=config.requester_class)]
-    classes = list(config.mix.keys())
-    weights = np.asarray([config.mix[c] for c in classes], dtype=float)
-    weights = weights / weights.sum()
-    for i in range(config.n_nodes - 1):
-        cls = classes[int(rng.choice(len(classes), p=weights))]
-        nodes.append(Node(f"n{i}", node_class=cls))
-    return nodes
+    return _append_mixed_helpers(
+        [Node(requester_id, node_class=config.requester_class)], config, rng
+    )
+
+
+def multi_requester_fleet(
+    config: ClusterConfig,
+    rng: np.random.Generator,
+    n_requesters: int,
+    requester_prefix: str = "req",
+) -> List[Node]:
+    """:func:`mixed_fleet` generalized to several requester nodes.
+
+    The first ``n_requesters`` nodes are requesters (``req0`` ...,
+    all of the config's requester class); the rest are drawn from the
+    class mix exactly as :func:`mixed_fleet` draws them (both delegate
+    to the same helper loop). Used by the contention scenarios
+    (:mod:`repro.workloads.contention`).
+    """
+    if not (1 <= n_requesters <= config.n_nodes):
+        raise ValueError(
+            f"n_requesters must be in [1, {config.n_nodes}], got {n_requesters}"
+        )
+    requesters = [
+        Node(f"{requester_prefix}{k}", node_class=config.requester_class)
+        for k in range(n_requesters)
+    ]
+    return _append_mixed_helpers(requesters, config, rng)
+
+
+def assemble_cluster(
+    nodes: List[Node],
+    config: ClusterConfig,
+    registry: RngRegistry,
+) -> Tuple[Topology, Dict[str, QoSProvider]]:
+    """Place a fleet and wrap it in a topology plus per-node providers.
+
+    The shared back half of :func:`build_cluster` and the contention
+    builder (:func:`repro.workloads.contention.build_contention_cluster`):
+    placement draws from the registry's ``placement`` stream, radios use
+    the config's disc range.
+    """
+    placement = StaticPlacement(config.area, config.area, registry.stream("placement"))
+    placement.place(nodes)
+    topology = Topology(nodes, DiscRadio(range_m=config.radio_range))
+    providers = {n.node_id: QoSProvider(n) for n in nodes}
+    return topology, providers
 
 
 def build_cluster(
@@ -51,10 +107,7 @@ def build_cluster(
     """
     registry = RngRegistry(seed)
     nodes = mixed_fleet(config, registry.stream("fleet"), requester_id)
-    placement = StaticPlacement(config.area, config.area, registry.stream("placement"))
-    placement.place(nodes)
-    topology = Topology(nodes, DiscRadio(range_m=config.radio_range))
-    providers = {n.node_id: QoSProvider(n) for n in nodes}
+    topology, providers = assemble_cluster(nodes, config, registry)
     return topology, providers, nodes, registry
 
 

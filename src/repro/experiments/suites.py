@@ -1,4 +1,10 @@
-"""The E1–E14 experiment suites (the paper’s missing evaluation section).
+"""The experiment suites (the paper’s missing evaluation section).
+
+E1–E14 live in this module; the scenario-generation suites E15–E17
+(:mod:`repro.experiments.workload_suites`, built on
+:mod:`repro.workloads`) are imported and registered at the bottom so
+:data:`SUITE_PLANS` and :data:`ALL_SUITES` stay the single sources of
+truth for "every suite".
 
 Each suite is written as a *plan builder*: a function taking a
 :class:`~repro.experiments.config.SweepConfig` and returning a
@@ -52,6 +58,7 @@ from repro.resources.capacity import Capacity
 from repro.resources.kinds import ResourceKind
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
+from repro.experiments.workload_suites import e15_plan, e16_plan, e17_plan
 from repro.services import workload
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -1042,6 +1049,9 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E12": e12_plan,
     "E13": e13_plan,
     "E14": e14_plan,
+    "E15": e15_plan,
+    "E16": e16_plan,
+    "E17": e17_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1059,6 +1069,9 @@ e11_multihop = _table_suite(e11_plan, "e11_multihop")
 e12_reputation = _table_suite(e12_plan, "e12_reputation")
 e13_battery_lifetime = _table_suite(e13_plan, "e13_battery_lifetime")
 e14_pipeline = _table_suite(e14_plan, "e14_pipeline")
+e15_contention = _table_suite(e15_plan, "e15_contention")
+e16_saturation = _table_suite(e16_plan, "e16_saturation")
+e17_new_services = _table_suite(e17_plan, "e17_new_services")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1076,4 +1089,7 @@ ALL_SUITES = {
     "E12": e12_reputation,
     "E13": e13_battery_lifetime,
     "E14": e14_pipeline,
+    "E15": e15_contention,
+    "E16": e16_saturation,
+    "E17": e17_new_services,
 }

@@ -1,0 +1,177 @@
+"""The E15–E17 suites: scenario-generation workloads under contention.
+
+Built entirely on :mod:`repro.workloads` — suites *name* scenarios from
+the declarative registry and sweep one field via
+:meth:`~repro.workloads.registry.ScenarioSpec.replace`, instead of
+hand-building clusters and loops:
+
+* **E15** — contention sweep: the ``contention-mix`` scenario with the
+  requester count K swept; success, utility, and Jain fairness should
+  degrade gracefully as K self-interested requesters share one cluster;
+* **E16** — saturation sweep: the ``saturation-trio`` scenario with the
+  per-requester Poisson arrival rate swept; concurrency climbs until
+  admission control starts refusing sessions;
+* **E17** — coalition vs single node for the three **new** service
+  families (speech recognition, sensor-fusion telemetry, navigation
+  rendering) — the E1 claim re-checked off the paper's beaten path.
+
+Each plan builder returns a :class:`~repro.experiments.plan.SuitePlan`
+and is registered in :data:`repro.experiments.suites.SUITE_PLANS` /
+``ALL_SUITES`` next to E1–E14, so the suites ride the shared work-queue
+scheduler with the bit-identical parallel==serial guarantee intact
+(every replication is a pure function of its seed; see
+:mod:`repro.workloads.contention`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import baselines
+from repro.core.negotiation import negotiate
+from repro.experiments.config import ClusterConfig, SweepConfig
+from repro.experiments.plan import SuitePlan, SweepPoint
+from repro.experiments.reporting import Table
+from repro.experiments.scenario import build_cluster
+from repro.metrics.utility import outcome_utility
+from repro.workloads.registry import get_scenario
+from repro.workloads.services import NEW_SERVICE_FAMILIES, build_service
+
+
+# ==========================================================================
+# E15 — contention sweep over requester count
+# ==========================================================================
+
+
+def e15_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Extension (ROADMAP: multi-requester contention): K self-interested
+    requesters with independent Poisson arrival streams share one
+    cluster's providers.
+
+    Sweeps the requester count of the ``contention-mix`` scenario
+    (movie/speech/sensor-fusion/navigation requesters, 20 nodes). With
+    one requester admission hardly ever fails; as K grows, sessions
+    overlap, later arrivals see depleted providers, and success/utility
+    fall while concurrency rises. Jain fairness over per-requester
+    success rates should stay high — the protocol has no requester
+    priority, so no one starves.
+    """
+    counts = (1, 2, 4) if sweep.quick else (1, 2, 4, 8)
+    horizon = 120.0 if sweep.quick else 240.0
+    base = get_scenario("contention-mix").replace(horizon=horizon)
+    table = Table(
+        "E15 — multi-requester contention (contention-mix scenario, "
+        f"{base.n_nodes} nodes)",
+        ["requesters", "offered sessions", "success rate", "mean utility",
+         "fairness (Jain)", "mean concurrent"],
+        caption="Per-requester Poisson arrivals (one session per 40 s), "
+                "families cycling movie/speech/sensor-fusion/navigation; "
+                "sessions hold real reservations for their duration. "
+                "Fairness = Jain index over per-requester success rates.",
+    )
+    points = []
+    for k in counts:
+        spec = base.replace(n_requesters=k)
+
+        def run(seed: int, spec=spec) -> Dict[str, float]:
+            return spec.metrics_run(seed)
+
+        points.append(SweepPoint(
+            label=k, run=run,
+            keys=("offered", "success_rate", "utility", "fairness",
+                  "mean_concurrent"),
+        ))
+    return SuitePlan("E15", table, points)
+
+
+# ==========================================================================
+# E16 — arrival-rate saturation sweep
+# ==========================================================================
+
+
+def e16_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Extension (ROADMAP: stochastic arrivals): drive one contention
+    scenario from a trickle into saturation.
+
+    Sweeps the per-requester Poisson arrival rate of the
+    ``saturation-trio`` scenario (speech/movie/navigation on 14 nodes).
+    At low rates sessions rarely overlap and nearly all are admitted;
+    past the knee the offered load exceeds what the providers can hold
+    concurrently and the success rate bends down while peak concurrency
+    saturates — the classic admission-control saturation curve.
+    """
+    rates = (0.01, 0.04) if sweep.quick else (0.005, 0.01, 0.02, 0.04, 0.08)
+    horizon = 120.0 if sweep.quick else 240.0
+    base = get_scenario("saturation-trio").replace(horizon=horizon)
+    table = Table(
+        "E16 — arrival-rate saturation (saturation-trio scenario, "
+        f"{base.n_nodes} nodes)",
+        ["rate (1/s/req)", "offered sessions", "success rate",
+         "mean utility", "mean concurrent", "peak concurrent"],
+        caption="Homogeneous Poisson arrivals per requester; rate is per "
+                "requester, so offered load ≈ 3·rate·horizon sessions. "
+                "Sessions hold reservations for 20–30 s each.",
+    )
+    points = []
+    for rate in rates:
+        spec = base.replace(arrival_params=(("rate", rate),))
+
+        def run(seed: int, spec=spec) -> Dict[str, float]:
+            return spec.metrics_run(seed)
+
+        points.append(SweepPoint(
+            label=rate, run=run,
+            keys=("offered", "success_rate", "utility", "mean_concurrent",
+                  "peak_concurrent"),
+        ))
+    return SuitePlan("E16", table, points)
+
+
+# ==========================================================================
+# E17 — coalition vs single node on the new service families
+# ==========================================================================
+
+
+def e17_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Claim (§1, §4.1) re-checked on the new families: coalitions
+    satisfy requests a single weak node cannot — for speech
+    recognition, sensor-fusion telemetry, and navigation rendering.
+
+    Mirrors E1's protocol (phone requester, mixed 12-node cluster,
+    solo baseline vs coalition negotiation) with the sweep axis being
+    the service family instead of the neighborhood size. Each family is
+    calibrated so its preferred quality exceeds any handheld
+    (coalition necessary) while its worst acceptable quality fits a
+    PDA (solo execution possible but heavily degraded).
+    """
+    families = tuple(NEW_SERVICE_FAMILIES)
+    table = Table(
+        "E17 — coalition vs single node on the new service families",
+        ["family", "single success", "single utility", "coalition success",
+         "coalition utility", "coalition size"],
+        caption="12-node mixed cluster, phone requester; compare with E1's "
+                "movie-playback rows. Calibration targets per family are "
+                "documented in docs/workloads.md.",
+    )
+    points = []
+    for family in families:
+        def run(seed: int, family=family) -> Dict[str, float]:
+            config = ClusterConfig(n_nodes=12)
+            topology, providers, _nodes, _registry = build_cluster(config, seed)
+            service = build_service(family, requester="requester")
+            single = baselines.single_node(service, topology, providers)
+            coal = negotiate(service, topology, providers, commit=False)
+            return {
+                "single_success": float(single.success),
+                "single_utility": outcome_utility(single),
+                "coal_success": float(coal.success),
+                "coal_utility": outcome_utility(coal),
+                "coal_size": float(coal.coalition.size),
+            }
+
+        points.append(SweepPoint(
+            label=family, run=run,
+            keys=("single_success", "single_utility", "coal_success",
+                  "coal_utility", "coal_size"),
+        ))
+    return SuitePlan("E17", table, points)

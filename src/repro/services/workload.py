@@ -14,6 +14,11 @@ Calibration targets the :data:`~repro.resources.node.NODE_CLASS_PROFILES`
 ratios: a full-quality video decode overwhelms a phone/PDA but fits a
 laptop, so cooperation is *necessary* for weak requesters (the paper's
 core premise), while a degraded surveillance feed fits a PDA alone.
+
+Three further families beyond the paper's three (speech recognition,
+sensor-fusion telemetry, map/navigation rendering) live in
+:mod:`repro.workloads.services`, which also provides the name →
+builder registry (``SERVICE_FAMILIES``) spanning all six.
 """
 
 from __future__ import annotations

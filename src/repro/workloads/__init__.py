@@ -1,0 +1,85 @@
+"""Scenario generation: service families, arrivals, contention suites.
+
+The paper motivates cooperation with three concrete services (movie
+playback, surveillance, conferencing), each requested by a *single*
+weak device. This package opens the workload axis the ROADMAP asks
+for — "new workloads beyond the paper's three services; multi-requester
+contention scenarios" — as a subsystem of its own:
+
+* :mod:`repro.workloads.services` — three **new** calibrated service
+  families (speech recognition, sensor-fusion telemetry, map/navigation
+  rendering) plus a name → builder registry spanning the paper's
+  original three;
+* :mod:`repro.workloads.arrivals` — deterministic-given-seed session
+  arrival processes (fixed interval, homogeneous Poisson, bursty
+  inhomogeneous Poisson via thinning);
+* :mod:`repro.workloads.contention` — K self-interested requesters with
+  independent arrival streams competing for one cluster's providers;
+* :mod:`repro.workloads.registry` — the declarative
+  :class:`~repro.workloads.registry.ScenarioSpec` registry that suites
+  and the CLI (``--list-scenarios``) name scenarios through instead of
+  re-coding them.
+
+The experiment suites E15–E17 (:mod:`repro.experiments.workload_suites`)
+are built entirely on this package; ``docs/workloads.md`` documents the
+calibration targets and the contention model.
+
+Layering: this package sits beside :mod:`repro.services` and *below*
+:mod:`repro.experiments` — the few helpers it borrows from
+:mod:`repro.experiments.scenario` are imported lazily inside functions,
+so importing :mod:`repro.workloads` never drags the experiment layer in
+(and the reverse import from the suites stays acyclic).
+"""
+
+from repro.workloads import arrivals, contention, registry, services
+from repro.workloads.arrivals import (
+    ARRIVAL_FAMILIES,
+    ArrivalProcess,
+    BurstyProcess,
+    FixedIntervalProcess,
+    InhomogeneousPoissonProcess,
+    PoissonProcess,
+)
+from repro.workloads.contention import ContentionResult, SessionOutcome, run_contention
+from repro.workloads.registry import (
+    SCENARIOS,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register,
+)
+from repro.workloads.services import (
+    NEW_SERVICE_FAMILIES,
+    SERVICE_FAMILIES,
+    build_service,
+    navigation_service,
+    sensor_fusion_service,
+    speech_recognition_service,
+)
+
+__all__ = [
+    "arrivals",
+    "contention",
+    "registry",
+    "services",
+    "ARRIVAL_FAMILIES",
+    "ArrivalProcess",
+    "BurstyProcess",
+    "FixedIntervalProcess",
+    "InhomogeneousPoissonProcess",
+    "PoissonProcess",
+    "ContentionResult",
+    "SessionOutcome",
+    "run_contention",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "NEW_SERVICE_FAMILIES",
+    "SERVICE_FAMILIES",
+    "build_service",
+    "navigation_service",
+    "sensor_fusion_service",
+    "speech_recognition_service",
+]

@@ -1,0 +1,193 @@
+"""Session arrival processes, deterministic given their RNG stream.
+
+Every process maps ``(rng, horizon)`` to a sorted tuple of arrival
+times in ``[0, horizon)``. Processes hold no mutable state: the caller
+passes a named :class:`numpy.random.Generator` (from the replication's
+:class:`~repro.sim.rng.RngRegistry`), so the same seed always produces
+the same arrival times — the property the bit-identical parallel==serial
+guarantee of the experiment stack rests on. Every draw is consumed in a
+fixed order for the same reason.
+
+Three families:
+
+* :class:`FixedIntervalProcess` — deterministic, evenly spaced sessions
+  (a cron-like workload; consumes no randomness);
+* :class:`PoissonProcess` — homogeneous Poisson arrivals via
+  exponential inter-arrival gaps (memoryless users);
+* :class:`InhomogeneousPoissonProcess` — time-varying rate via
+  Lewis–Shedler thinning (candidate times from a homogeneous process at
+  the rate ceiling, each kept with probability ``rate(t) / rate_max``),
+  the standard construction for inhomogeneous Poisson point processes;
+  :class:`BurstyProcess` specializes it to a square-wave rate (quiet
+  baseline with periodic bursts).
+
+:data:`ARRIVAL_FAMILIES` maps short names to constructors so the
+declarative :class:`~repro.workloads.registry.ScenarioSpec` can select a
+process without importing classes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates session arrival times over a finite horizon."""
+
+    @abc.abstractmethod
+    def arrivals(self, rng: np.random.Generator, horizon: float) -> Tuple[float, ...]:
+        """Sorted arrival times in ``[0, horizon)``.
+
+        Args:
+            rng: The stream supplying every random draw; equal states
+                yield equal times.
+            horizon: End of the observation window (seconds).
+        """
+
+    @staticmethod
+    def _check_horizon(horizon: float) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+
+
+class FixedIntervalProcess(ArrivalProcess):
+    """One session every ``interval`` seconds, starting at ``offset``.
+
+    Deterministic — the ``rng`` argument is accepted for interface
+    uniformity and never drawn from.
+    """
+
+    def __init__(self, interval: float, offset: float = 0.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        self.interval = float(interval)
+        self.offset = float(offset)
+
+    def arrivals(self, rng: np.random.Generator, horizon: float) -> Tuple[float, ...]:
+        self._check_horizon(horizon)
+        times = []
+        t = self.offset
+        while t < horizon:
+            times.append(t)
+            t += self.interval
+        return tuple(times)
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` sessions per second."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def arrivals(self, rng: np.random.Generator, horizon: float) -> Tuple[float, ...]:
+        self._check_horizon(horizon)
+        times = []
+        t = float(rng.exponential(1.0 / self.rate))
+        while t < horizon:
+            times.append(t)
+            t += float(rng.exponential(1.0 / self.rate))
+        return tuple(times)
+
+
+class InhomogeneousPoissonProcess(ArrivalProcess):
+    """Time-varying Poisson arrivals via Lewis–Shedler thinning.
+
+    Candidate times are drawn from a homogeneous process at the ceiling
+    ``rate_max``; a candidate at ``t`` survives with probability
+    ``rate(t) / rate_max``. The acceptance draw is consumed for *every*
+    candidate (accepted or not), keeping the draw order — and therefore
+    the determinism guarantee — independent of the rate function.
+
+    Args:
+        rate: Instantaneous rate function ``t -> λ(t)`` with
+            ``0 <= λ(t) <= rate_max`` over the horizon.
+        rate_max: A (tight, for efficiency) upper bound on ``rate``.
+    """
+
+    def __init__(self, rate: Callable[[float], float], rate_max: float) -> None:
+        if rate_max <= 0:
+            raise ValueError(f"rate_max must be positive, got {rate_max}")
+        self.rate = rate
+        self.rate_max = float(rate_max)
+
+    def arrivals(self, rng: np.random.Generator, horizon: float) -> Tuple[float, ...]:
+        self._check_horizon(horizon)
+        times = []
+        t = float(rng.exponential(1.0 / self.rate_max))
+        while t < horizon:
+            lam = self.rate(t)
+            if lam < 0 or lam > self.rate_max + 1e-12:
+                raise ValueError(
+                    f"rate({t:.3f}) = {lam} outside [0, rate_max={self.rate_max}]"
+                )
+            if float(rng.random()) < lam / self.rate_max:
+                times.append(t)
+            t += float(rng.exponential(1.0 / self.rate_max))
+        return tuple(times)
+
+
+class BurstyProcess(InhomogeneousPoissonProcess):
+    """Square-wave rate: a quiet baseline with periodic bursts.
+
+    Each period of ``period`` seconds opens with a burst window of
+    ``burst_fraction * period`` seconds at ``burst_rate``; the rest of
+    the period runs at ``base_rate``. Models synchronized demand spikes
+    (everyone requests as the meeting starts), the regime where
+    contention between requesters is harshest.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        period: float = 60.0,
+        burst_fraction: float = 0.25,
+    ) -> None:
+        if base_rate < 0 or burst_rate <= 0:
+            raise ValueError("rates must be positive (base_rate may be 0)")
+        if burst_rate < base_rate:
+            raise ValueError("burst_rate must be >= base_rate")
+        if period <= 0 or not (0.0 < burst_fraction <= 1.0):
+            raise ValueError("need period > 0 and burst_fraction in (0, 1]")
+        self.base_rate = float(base_rate)
+        self.burst_rate = float(burst_rate)
+        self.period = float(period)
+        self.burst_fraction = float(burst_fraction)
+
+        def rate(t: float) -> float:
+            phase = (t % self.period) / self.period
+            return self.burst_rate if phase < self.burst_fraction else self.base_rate
+
+        super().__init__(rate, rate_max=self.burst_rate)
+
+
+#: name → constructor, for declarative scenario specs. Parameters are
+#: the constructor keywords (``interval``, ``rate``, ``base_rate`` ...).
+ARRIVAL_FAMILIES: Dict[str, Callable[..., ArrivalProcess]] = {
+    "fixed": FixedIntervalProcess,
+    "poisson": PoissonProcess,
+    "bursty": BurstyProcess,
+}
+
+
+def make_arrival_process(family: str, **params: float) -> ArrivalProcess:
+    """Instantiate an arrival process by family name.
+
+    Raises:
+        KeyError: For an unknown family name (listing the valid ones).
+    """
+    try:
+        factory = ARRIVAL_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown arrival family {family!r}; "
+            f"available: {', '.join(ARRIVAL_FAMILIES)}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,277 @@
+"""Multi-requester contention: K self-interested requesters, one cluster.
+
+The paper studies one requester negotiating with its neighborhood. Here
+K requester devices share a single cluster's providers: each requester
+has its own service family and its own session arrival stream, sessions
+hold real reservations (``negotiate(commit=True)``) for their duration,
+and later arrivals see whatever capacity the earlier coalitions left —
+exactly the self-interested-agents regime of the related
+equilibrium-computation work on integer programming games.
+
+The simulation is an event loop over the merged arrival sequence:
+
+1. generate per-requester arrival times (independent named RNG streams
+   ``arrivals:req<k>`` of the replication's registry);
+2. process arrivals in ``(time, requester, ordinal)`` order — the
+   tuple tie-break makes simultaneous arrivals deterministic;
+3. before each arrival, release the coalitions of sessions whose
+   duration has elapsed; then negotiate the new session against the
+   *live* resource state;
+4. record per-session success/utility and per-step concurrency.
+
+Everything derives from the replication seed (fleet, placement,
+arrivals), so a scenario is a pure function of its seed — the
+precondition for riding the shared work-queue scheduler with the
+bit-identical parallel==serial guarantee.
+
+The helpers borrowed from :mod:`repro.experiments.scenario` are
+imported lazily inside :func:`build_contention_cluster` so this package
+never imports the experiment layer at module scope (the suites import
+us; see the :mod:`repro.workloads` docstring on layering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.negotiation import negotiate, release_coalition
+from repro.metrics.utility import outcome_utility
+from repro.network.topology import Topology
+from repro.resources.node import Node, NodeClass
+from repro.resources.provider import QoSProvider
+from repro.sim.rng import RngRegistry
+from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
+from repro.workloads.services import SERVICE_FAMILIES, build_service
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.experiments.config import ClusterConfig
+
+
+def requester_id(k: int) -> str:
+    """Node id of the ``k``-th requester (``req0``, ``req1``, ...)."""
+    return f"req{k}"
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """One session request and what the negotiation made of it."""
+
+    requester: int
+    arrival: float
+    family: str
+    success: bool
+    utility: float
+    coalition_size: int
+    concurrent: int
+    """Sessions already holding reservations when this one negotiated."""
+
+
+@dataclass
+class ContentionResult:
+    """Everything one contention run produced.
+
+    ``sessions`` is in processing order (arrival time, requester,
+    ordinal), which is also deterministic given the seed.
+    """
+
+    n_requesters: int
+    horizon: float
+    sessions: List[SessionOutcome] = field(default_factory=list)
+
+    def offered(self, requester: Optional[int] = None) -> int:
+        """Session count, overall or for one requester."""
+        return len(list(self._of(requester)))
+
+    def successes(self, requester: Optional[int] = None) -> int:
+        return sum(1 for s in self._of(requester) if s.success)
+
+    def _of(self, requester: Optional[int]):
+        if requester is None:
+            return iter(self.sessions)
+        return (s for s in self.sessions if s.requester == requester)
+
+    def per_requester_success_rates(self) -> Tuple[float, ...]:
+        """Success rate per requester; requesters with no arrivals get 1.0
+        (they were never denied anything)."""
+        rates = []
+        for k in range(self.n_requesters):
+            offered = self.offered(k)
+            rates.append(self.successes(k) / offered if offered else 1.0)
+        return tuple(rates)
+
+    def fairness(self) -> float:
+        """Jain's fairness index over per-requester success rates.
+
+        1.0 = every requester is served equally well; ``1/K`` = one
+        requester captures the cluster while the rest starve.
+        """
+        rates = self.per_requester_success_rates()
+        total = sum(rates)
+        if total == 0.0:
+            return 1.0  # everyone equally starved
+        return total ** 2 / (len(rates) * sum(r * r for r in rates))
+
+    def metrics(self) -> Dict[str, float]:
+        """The flat metric row experiment replications return.
+
+        Keys are fixed regardless of outcomes, as
+        :func:`~repro.experiments.runner.summarize_replications`
+        requires.
+        """
+        n = len(self.sessions)
+        return {
+            "offered": float(n),
+            "success_rate": (self.successes() / n) if n else 1.0,
+            "utility": (
+                float(np.mean([s.utility for s in self.sessions])) if n else 0.0
+            ),
+            "fairness": self.fairness(),
+            "mean_concurrent": (
+                float(np.mean([s.concurrent for s in self.sessions])) if n else 0.0
+            ),
+            "peak_concurrent": (
+                float(max(s.concurrent for s in self.sessions)) if n else 0.0
+            ),
+            "mean_coalition_size": (
+                float(np.mean([s.coalition_size for s in self.sessions])) if n else 0.0
+            ),
+        }
+
+
+def build_contention_cluster(
+    config: "ClusterConfig",
+    n_requesters: int,
+    registry: RngRegistry,
+) -> Tuple[Topology, Dict[str, QoSProvider], List[Node]]:
+    """A static cluster with ``n_requesters`` requester nodes.
+
+    The multi-requester analogue of
+    :func:`repro.experiments.scenario.build_cluster`: requesters come
+    first (``req0`` ... ``req{K-1}``, all of the config's requester
+    class), the remaining nodes are drawn from the config's class mix,
+    and everything is placed by the registry's ``placement`` stream.
+    """
+    from repro.experiments.scenario import assemble_cluster, multi_requester_fleet
+
+    nodes = multi_requester_fleet(config, registry.stream("fleet"), n_requesters)
+    topology, providers = assemble_cluster(nodes, config, registry)
+    return topology, providers, nodes
+
+
+def run_contention(
+    seed: int,
+    n_requesters: int = 2,
+    families: Sequence[str] = ("movie", "speech"),
+    arrival: Optional[ArrivalProcess] = None,
+    horizon: float = 240.0,
+    n_nodes: int = 16,
+    area: float = 120.0,
+    radio_range: float = 100.0,
+    requester_class: NodeClass = NodeClass.PHONE,
+    mix: str = "default",
+) -> ContentionResult:
+    """Run one multi-requester contention scenario.
+
+    Args:
+        seed: Master seed; the run is a pure function of it.
+        n_requesters: K, the number of competing requester devices.
+        families: Service family per requester
+            (:data:`~repro.workloads.services.SERVICE_FAMILIES` keys),
+            cycled when shorter than ``n_requesters``.
+        arrival: Arrival process shared by every requester — each draws
+            from its *own* RNG stream, so streams are independent.
+            Defaults to Poisson at one session per 40 s.
+        horizon: Observation window (simulated seconds).
+        n_nodes: Total cluster size, requesters included.
+        area: Square deployment area side (m).
+        radio_range: Disc-radio range (m).
+        requester_class: Device class of every requester (weak by
+            default, the paper's motivating client).
+        mix: Named helper-class mix
+            (:data:`repro.experiments.config.FLEET_MIXES` key).
+
+    Returns:
+        The :class:`ContentionResult` with per-session outcomes.
+    """
+    # Lazy: keep repro.workloads importable without the experiment layer.
+    from repro.experiments.config import FLEET_MIXES, ClusterConfig
+
+    if n_requesters < 1:
+        raise ValueError(f"need at least one requester, got {n_requesters}")
+    if n_nodes < n_requesters:
+        raise ValueError(
+            f"cluster of {n_nodes} cannot host {n_requesters} requesters"
+        )
+    unknown = [f for f in families if f not in SERVICE_FAMILIES]
+    if unknown:
+        raise KeyError(
+            f"unknown service family {unknown[0]!r}; "
+            f"available: {', '.join(SERVICE_FAMILIES)}"
+        )
+    if arrival is None:
+        arrival = PoissonProcess(rate=1.0 / 40.0)
+    if mix not in FLEET_MIXES:
+        raise KeyError(
+            f"unknown fleet mix {mix!r}; available: {', '.join(FLEET_MIXES)}"
+        )
+
+    registry = RngRegistry(seed)
+    config = ClusterConfig(
+        n_nodes=n_nodes,
+        requester_class=requester_class,
+        mix=dict(FLEET_MIXES[mix]),
+        area=area,
+        radio_range=radio_range,
+    )
+    topology, providers, _nodes = build_contention_cluster(
+        config, n_requesters, registry
+    )
+
+    family_of = {k: families[k % len(families)] for k in range(n_requesters)}
+    events: List[Tuple[float, int, int]] = []
+    for k in range(n_requesters):
+        times = arrival.arrivals(registry.stream(f"arrivals:{requester_id(k)}"), horizon)
+        events.extend((t, k, i) for i, t in enumerate(times))
+    events.sort()
+
+    result = ContentionResult(n_requesters=n_requesters, horizon=horizon)
+    active: List[Tuple[float, object]] = []  # (end time, coalition)
+    for t, k, ordinal in events:
+        # Dissolve sessions whose duration has elapsed by now.
+        still = []
+        for end, coalition in active:
+            if end <= t:
+                release_coalition(coalition, providers, now=t)
+            else:
+                still.append((end, coalition))
+        active = still
+
+        family = family_of[k]
+        service = build_service(
+            family, requester=requester_id(k), name=f"{family}-{requester_id(k)}-{ordinal}"
+        )
+        outcome = negotiate(service, topology, providers, commit=True, now=t)
+        result.sessions.append(
+            SessionOutcome(
+                requester=k,
+                arrival=t,
+                family=family,
+                success=outcome.success,
+                utility=outcome_utility(outcome),
+                coalition_size=outcome.coalition.size,
+                concurrent=len(active),
+            )
+        )
+        if outcome.success:
+            duration = max(task.duration for task in service.tasks)
+            active.append((t + duration, outcome.coalition))
+        else:
+            # A failed negotiation must not strand partial reservations.
+            release_coalition(outcome.coalition, providers, now=t)
+
+    for _end, coalition in active:
+        release_coalition(coalition, providers, now=horizon)
+    return result

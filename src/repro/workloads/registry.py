@@ -1,0 +1,214 @@
+"""Declarative scenario registry: name a scenario instead of coding it.
+
+A :class:`ScenarioSpec` is a frozen, purely-declarative description of
+one contention scenario — service families, requester count, arrival
+process, cluster geometry, horizon — holding only primitive values, so
+specs print cleanly, round-trip through ``dataclasses.replace`` for
+sweeps (E15 sweeps ``n_requesters``, E16 the arrival rate), and never
+pull the experiment layer in at import time.
+
+:data:`SCENARIOS` is the named registry the suites and the CLI
+(``python -m repro.experiments --list-scenarios``) read; new scenarios
+register with :func:`register` instead of growing hand-built suite
+functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.resources.node import NodeClass
+from repro.workloads.arrivals import ARRIVAL_FAMILIES, ArrivalProcess, make_arrival_process
+from repro.workloads.contention import ContentionResult, run_contention
+from repro.workloads.services import SERVICE_FAMILIES
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, seedable contention scenario.
+
+    Attributes:
+        name: Registry key (kebab-case).
+        description: One line for ``--list-scenarios``.
+        families: Service family per requester
+            (:data:`~repro.workloads.services.SERVICE_FAMILIES` keys),
+            cycled when there are more requesters than entries.
+        n_requesters: K, the number of competing requesters.
+        arrival: Arrival-process family
+            (:data:`~repro.workloads.arrivals.ARRIVAL_FAMILIES` key).
+        arrival_params: Constructor keywords of the arrival process, as
+            a tuple of ``(name, value)`` pairs (kept hashable so specs
+            stay frozen and ``replace``-able).
+        horizon: Observation window (simulated seconds).
+        n_nodes: Total cluster size, requesters included.
+        area: Square deployment area side (m).
+        radio_range: Disc-radio range (m).
+        requester_class: Device class of every requester.
+        mix: Named helper-class mix
+            (:data:`repro.experiments.config.FLEET_MIXES` key).
+    """
+
+    name: str
+    description: str
+    families: Tuple[str, ...]
+    n_requesters: int = 2
+    arrival: str = "poisson"
+    arrival_params: Tuple[Tuple[str, float], ...] = (("rate", 1.0 / 40.0),)
+    horizon: float = 240.0
+    n_nodes: int = 16
+    area: float = 120.0
+    radio_range: float = 100.0
+    requester_class: NodeClass = NodeClass.PHONE
+    mix: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            raise ValueError(f"scenario {self.name!r} names no service families")
+        unknown = [f for f in self.families if f not in SERVICE_FAMILIES]
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown service family {unknown[0]!r}"
+            )
+        if self.arrival not in ARRIVAL_FAMILIES:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown arrival family {self.arrival!r}"
+            )
+        if self.n_requesters < 1 or self.n_nodes < self.n_requesters:
+            raise ValueError(
+                f"scenario {self.name!r}: {self.n_requesters} requesters do not "
+                f"fit a {self.n_nodes}-node cluster"
+            )
+        # Lazy, like run_contention's config import: keeps the layering
+        # acyclic while still failing at construction, not mid-suite.
+        from repro.experiments.config import FLEET_MIXES
+
+        if self.mix not in FLEET_MIXES:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown fleet mix {self.mix!r}"
+            )
+
+    def arrival_process(self) -> ArrivalProcess:
+        """Instantiate the spec's arrival process."""
+        return make_arrival_process(self.arrival, **dict(self.arrival_params))
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with fields changed (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def run(self, seed: int) -> ContentionResult:
+        """Run the scenario; a pure function of ``seed``."""
+        return run_contention(
+            seed,
+            n_requesters=self.n_requesters,
+            families=self.families,
+            arrival=self.arrival_process(),
+            horizon=self.horizon,
+            n_nodes=self.n_nodes,
+            area=self.area,
+            radio_range=self.radio_range,
+            requester_class=self.requester_class,
+            mix=self.mix,
+        )
+
+    def metrics_run(self, seed: int) -> Dict[str, float]:
+        """``run(seed).metrics()`` — the suites' replication callable."""
+        return self.run(seed).metrics()
+
+
+#: The named scenario registry, in registration order.
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a spec to :data:`SCENARIOS` (duplicate names are a bug)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered spec by name.
+
+    Raises:
+        KeyError: For an unknown name (listing the valid ones).
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """Registered specs, in registration order."""
+    return list(SCENARIOS.values())
+
+
+# --------------------------------------------------------------------------
+# Built-in scenarios
+# --------------------------------------------------------------------------
+
+register(ScenarioSpec(
+    name="solo-movie",
+    description="1 movie requester, Poisson arrivals — the no-contention baseline",
+    families=("movie",),
+    n_requesters=1,
+    n_nodes=12,
+))
+
+register(ScenarioSpec(
+    name="duet-av",
+    description="movie + conference requesters sharing a 16-node cluster",
+    families=("movie", "conference"),
+    n_requesters=2,
+))
+
+register(ScenarioSpec(
+    name="contention-mix",
+    description="movie/speech/sensor-fusion/navigation requesters on 20 nodes "
+                "(E15 sweeps its requester count)",
+    families=("movie", "speech", "sensor-fusion", "navigation"),
+    n_requesters=4,
+    n_nodes=20,
+    area=130.0,
+    radio_range=110.0,
+    mix="contention",
+))
+
+register(ScenarioSpec(
+    name="saturation-trio",
+    description="3 mixed requesters on 14 nodes (E16 sweeps its arrival rate)",
+    families=("speech", "movie", "navigation"),
+    n_requesters=3,
+    n_nodes=14,
+))
+
+register(ScenarioSpec(
+    name="burst-octet",
+    description="8 mixed requesters with bursty synchronized arrivals on 24 nodes",
+    families=("movie", "speech", "sensor-fusion", "navigation"),
+    n_requesters=8,
+    n_nodes=24,
+    area=140.0,
+    radio_range=120.0,
+    mix="contention",
+    arrival="bursty",
+    arrival_params=(
+        ("base_rate", 1.0 / 120.0),
+        ("burst_rate", 1.0 / 12.0),
+        ("period", 80.0),
+        ("burst_fraction", 0.25),
+    ),
+))
+
+register(ScenarioSpec(
+    name="new-services-trio",
+    description="the three new families (speech, sensor-fusion, navigation) "
+                "contending on 16 nodes",
+    families=("speech", "sensor-fusion", "navigation"),
+    n_requesters=3,
+))

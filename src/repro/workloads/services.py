@@ -1,0 +1,451 @@
+"""New calibrated service families beyond the paper's three.
+
+The paper's motivating services (movie playback, surveillance,
+conferencing — :mod:`repro.services.workload`) all sit in the media
+decode/encode corner of the design space. The three families here open
+different corners while keeping the same calibration discipline against
+:data:`~repro.resources.node.NODE_CLASS_PROFILES`:
+
+* **speech recognition** — a large acoustic/language model is the cost
+  driver (tabular, like the conferencing codec): the *large* model with
+  a wide beam needs a laptop-class node, while the *small* model with a
+  narrow beam fits a PDA;
+* **sensor-fusion telemetry** — cost scales with the product-free sum
+  of fusion rate and fused sensor count (linear), bandwidth with the
+  report rate: full-rate fusion of 12 sensors overwhelms handhelds,
+  a 2-sensor trickle does not;
+* **map/navigation rendering** — tile style is tabular (3-D rendering
+  vs flat tiles), refresh rate and layer count linear; full 3-D maps at
+  a high refresh rate are laptop work, degraded 2-D navigation is not.
+
+Calibration targets (mirroring ``repro.services.workload``): every
+family's *preferred* quality demands roughly 450–700 CPU — beyond a PDA
+(200) and far beyond a phone (50), so cooperation is necessary for weak
+requesters — while the *worst acceptable* quality stays near or below
+the PDA profile, so degraded solo execution remains possible and the
+coalition's utility gain is measurable (experiment E17).
+
+:data:`SERVICE_FAMILIES` maps family names to builders across both the
+paper's original three and the new three; contention scenarios
+(:mod:`repro.workloads.contention`) and the scenario registry address
+families exclusively by these names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.qos.attribute import Attribute
+from repro.qos.catalog import SAMPLING_RATE
+from repro.qos.dimension import QoSDimension
+from repro.qos.domain import ContinuousDomain, DiscreteDomain
+from repro.qos.request import (
+    AttributePreference,
+    DimensionPreference,
+    ServiceRequest,
+    ValueInterval,
+)
+from repro.qos.spec import QoSSpec
+from repro.qos.types import ValueType
+from repro.resources.capacity import Capacity
+from repro.resources.mapping import (
+    CompositeDemandModel,
+    DemandModel,
+    LinearDemandModel,
+    TabularDemandModel,
+)
+from repro.services import workload
+from repro.services.service import Service
+from repro.services.task import Task
+
+# Canonical attribute names of the new families.
+MODEL_SIZE = "model size"
+BEAM_WIDTH = "beam width"
+FUSION_RATE = "fusion rate"
+SENSOR_COUNT = "sensor count"
+REPORT_RATE = "report rate"
+TILE_STYLE = "tile style"
+LAYER_COUNT = "layer count"
+REFRESH_RATE = "refresh rate"
+
+RECOGNITION_QUALITY = "Recognition Quality"
+AUDIO_CAPTURE = "Audio Capture"
+FUSION_QUALITY = "Fusion Quality"
+REPORTING = "Reporting"
+MAP_DETAIL = "Map Detail"
+RESPONSIVENESS = "Responsiveness"
+
+
+# --------------------------------------------------------------------------
+# Speech recognition
+# --------------------------------------------------------------------------
+
+
+def speech_recognition_spec() -> QoSSpec:
+    """Continuous dictation over the ad-hoc cluster.
+
+    *Recognition Quality* dominates: the acoustic/language model size
+    (large … tiny, best first) and the decoder beam width. *Audio
+    Capture* reuses the paper's sampling-rate attribute.
+    """
+    return QoSSpec(
+        name="speech-recognition",
+        dimensions=(
+            QoSDimension(RECOGNITION_QUALITY, (MODEL_SIZE, BEAM_WIDTH)),
+            QoSDimension(AUDIO_CAPTURE, (SAMPLING_RATE,)),
+        ),
+        attributes=(
+            Attribute(
+                MODEL_SIZE,
+                DiscreteDomain(ValueType.STRING, ("large", "medium", "small", "tiny")),
+            ),
+            Attribute(BEAM_WIDTH, ContinuousDomain(ValueType.INTEGER, 1, 12)),
+            Attribute(
+                SAMPLING_RATE, DiscreteDomain(ValueType.INTEGER, (44, 24, 16, 8)),
+                unit="kHz",
+            ),
+        ),
+    )
+
+
+def speech_recognition_request(spec: QoSSpec | None = None) -> ServiceRequest:
+    """Dictation request: accuracy over capture fidelity.
+
+    Accepts model sizes down to *small* and beams down to 3 — the user
+    tolerates a worse transcript, not a dead one.
+    """
+    spec = spec if spec is not None else speech_recognition_spec()
+    return ServiceRequest(
+        spec=spec,
+        name="dictation",
+        dimensions=(
+            DimensionPreference(
+                RECOGNITION_QUALITY,
+                (
+                    AttributePreference(MODEL_SIZE, ("large", "medium", "small")),
+                    AttributePreference(
+                        BEAM_WIDTH, (ValueInterval(12, 8), ValueInterval(7, 3))
+                    ),
+                ),
+            ),
+            DimensionPreference(
+                AUDIO_CAPTURE,
+                (AttributePreference(SAMPLING_RATE, (16, 8)),),
+            ),
+        ),
+    )
+
+
+def speech_recognition_demand() -> DemandModel:
+    """Demand profile of a streaming-recognition task.
+
+    The model table dominates (weights resident in memory, inference on
+    CPU); beam width adds linear search cost; the sampling rate only
+    moves capture bandwidth. Preferred quality (large, beam 12, 16 kHz)
+    ≈ 660 CPU / 344 MB — laptop work; worst acceptable (small, beam 3,
+    8 kHz) ≈ 140 CPU / 56 MB — a PDA copes.
+    """
+    model = TabularDemandModel(
+        base=Capacity.zero(),
+        tables={
+            MODEL_SIZE: {
+                "large": Capacity.of(cpu=420.0, memory=320.0, energy=120.0),
+                "medium": Capacity.of(cpu=180.0, memory=128.0, energy=55.0),
+                "small": Capacity.of(cpu=65.0, memory=32.0, energy=22.0),
+                "tiny": Capacity.of(cpu=25.0, memory=16.0, energy=8.0),
+            }
+        },
+    )
+    search = LinearDemandModel(
+        base=Capacity.of(cpu=12.0, memory=24.0, energy=25.0),
+        per_unit={
+            BEAM_WIDTH: Capacity.of(cpu=18.0, energy=1.5),
+            SAMPLING_RATE: Capacity.of(cpu=0.8, net_bandwidth=14.0, energy=0.6),
+        },
+    )
+    return CompositeDemandModel(model, search)
+
+
+def speech_recognition_service(requester: str, name: str = "speech") -> Service:
+    """A single continuous-recognition task (30 s dictation session)."""
+    request = speech_recognition_request()
+    task = Task(
+        task_id=Task.fresh_id(f"{name}-asr"),
+        request=request,
+        demand_model=speech_recognition_demand(),
+        input_kb=90.0,
+        output_kb=15.0,
+        duration=30.0,
+    )
+    return Service(name=name, tasks=(task,), requester=requester)
+
+
+# --------------------------------------------------------------------------
+# Sensor-fusion telemetry
+# --------------------------------------------------------------------------
+
+
+def sensor_fusion_spec() -> QoSSpec:
+    """Fusing the cluster's sensors into one telemetry stream.
+
+    *Fusion Quality* (fusion rate in Hz, fused sensor count) dominates
+    *Reporting* (uplink report rate in Hz).
+    """
+    return QoSSpec(
+        name="sensor-fusion",
+        dimensions=(
+            QoSDimension(FUSION_QUALITY, (FUSION_RATE, SENSOR_COUNT)),
+            QoSDimension(REPORTING, (REPORT_RATE,)),
+        ),
+        attributes=(
+            Attribute(FUSION_RATE, ContinuousDomain(ValueType.INTEGER, 1, 50), unit="Hz"),
+            Attribute(
+                SENSOR_COUNT, DiscreteDomain(ValueType.INTEGER, (12, 8, 4, 2))
+            ),
+            Attribute(
+                REPORT_RATE, DiscreteDomain(ValueType.INTEGER, (10, 5, 1)), unit="Hz"
+            ),
+        ),
+    )
+
+
+def sensor_fusion_request(spec: QoSSpec | None = None) -> ServiceRequest:
+    """Telemetry request: dense fusion preferred, a trickle acceptable."""
+    spec = spec if spec is not None else sensor_fusion_spec()
+    return ServiceRequest(
+        spec=spec,
+        name="telemetry",
+        dimensions=(
+            DimensionPreference(
+                FUSION_QUALITY,
+                (
+                    AttributePreference(
+                        FUSION_RATE, (ValueInterval(40, 25), ValueInterval(24, 10))
+                    ),
+                    AttributePreference(SENSOR_COUNT, (12, 8, 4, 2)),
+                ),
+            ),
+            DimensionPreference(
+                REPORTING,
+                (AttributePreference(REPORT_RATE, (10, 5, 1)),),
+            ),
+        ),
+    )
+
+
+def sensor_fusion_demand() -> DemandModel:
+    """Demand profile of a fusion task.
+
+    CPU scales with the fusion rate (filter updates per second) and the
+    sensor count (association work and per-sensor ingest); the report
+    rate only costs uplink bandwidth. Preferred (40 Hz, 12 sensors,
+    10 Hz) ≈ 475 CPU; worst acceptable (10 Hz, 2 sensors, 1 Hz)
+    ≈ 110 CPU.
+    """
+    return LinearDemandModel(
+        base=Capacity.of(cpu=8.0, memory=16.0, energy=15.0),
+        per_unit={
+            FUSION_RATE: Capacity.of(cpu=7.0, bus_bandwidth=0.5, energy=0.8),
+            SENSOR_COUNT: Capacity.of(cpu=15.5, memory=6.0, net_bandwidth=40.0, energy=1.2),
+            REPORT_RATE: Capacity.of(net_bandwidth=60.0, energy=0.5),
+        },
+    )
+
+
+def sensor_fusion_service(requester: str, name: str = "sensor-fusion") -> Service:
+    """One fusion task plus a cheap archival task (two-task service)."""
+    request = sensor_fusion_request()
+    fuse = Task(
+        task_id=Task.fresh_id(f"{name}-fuse"),
+        request=request,
+        demand_model=sensor_fusion_demand(),
+        input_kb=150.0,
+        output_kb=60.0,
+        duration=25.0,
+    )
+    archive = Task(
+        task_id=Task.fresh_id(f"{name}-archive"),
+        request=request,
+        demand_model=LinearDemandModel(
+            base=Capacity.of(cpu=6.0, memory=24.0, energy=10.0),
+            per_unit={REPORT_RATE: Capacity.of(cpu=2.0, bus_bandwidth=4.0, energy=0.8)},
+        ),
+        input_kb=60.0,
+        output_kb=5.0,
+        duration=25.0,
+    )
+    return Service(name=name, tasks=(fuse, archive), requester=requester)
+
+
+# --------------------------------------------------------------------------
+# Map/navigation rendering
+# --------------------------------------------------------------------------
+
+
+def navigation_spec() -> QoSSpec:
+    """Live map rendering for turn-by-turn navigation.
+
+    *Map Detail* (tile style, overlay layer count) dominates
+    *Responsiveness* (view refresh rate).
+    """
+    return QoSSpec(
+        name="navigation",
+        dimensions=(
+            QoSDimension(MAP_DETAIL, (TILE_STYLE, LAYER_COUNT)),
+            QoSDimension(RESPONSIVENESS, (REFRESH_RATE,)),
+        ),
+        attributes=(
+            Attribute(
+                TILE_STYLE,
+                DiscreteDomain(ValueType.STRING, ("3d", "hybrid", "2d-hi", "2d-lo")),
+            ),
+            Attribute(LAYER_COUNT, DiscreteDomain(ValueType.INTEGER, (5, 4, 3, 2))),
+            Attribute(REFRESH_RATE, ContinuousDomain(ValueType.INTEGER, 1, 15), unit="fps"),
+        ),
+    )
+
+
+def navigation_request(spec: QoSSpec | None = None) -> ServiceRequest:
+    """Navigation request: photorealistic preferred, flat tiles accepted."""
+    spec = spec if spec is not None else navigation_spec()
+    return ServiceRequest(
+        spec=spec,
+        name="turn-by-turn",
+        dimensions=(
+            DimensionPreference(
+                MAP_DETAIL,
+                (
+                    AttributePreference(TILE_STYLE, ("3d", "hybrid", "2d-hi")),
+                    AttributePreference(LAYER_COUNT, (5, 4, 3, 2)),
+                ),
+            ),
+            DimensionPreference(
+                RESPONSIVENESS,
+                (
+                    AttributePreference(
+                        REFRESH_RATE, (ValueInterval(15, 8), ValueInterval(7, 2))
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def navigation_demand() -> DemandModel:
+    """Demand profile of a map-render task.
+
+    Tile style is tabular (3-D scene rendering vs blitting flat tiles,
+    with tile-stream bandwidth to match); layers and refresh rate add
+    linear compositing cost. Preferred (3d, 5 layers, 15 fps) ≈ 590
+    CPU / 242 MB; worst acceptable (2d-hi, 2 layers, 2 fps) ≈ 140 CPU /
+    60 MB — PDA territory.
+    """
+    style = TabularDemandModel(
+        base=Capacity.zero(),
+        tables={
+            TILE_STYLE: {
+                "3d": Capacity.of(cpu=260.0, memory=200.0, net_bandwidth=400.0, energy=70.0),
+                "hybrid": Capacity.of(cpu=140.0, memory=120.0, net_bandwidth=250.0, energy=40.0),
+                "2d-hi": Capacity.of(cpu=60.0, memory=36.0, net_bandwidth=120.0, energy=18.0),
+                "2d-lo": Capacity.of(cpu=22.0, memory=32.0, net_bandwidth=60.0, energy=8.0),
+            }
+        },
+    )
+    compositing = LinearDemandModel(
+        base=Capacity.of(cpu=10.0, memory=12.0, energy=25.0),
+        per_unit={
+            LAYER_COUNT: Capacity.of(cpu=22.0, memory=6.0, energy=2.0),
+            REFRESH_RATE: Capacity.of(cpu=14.0, net_bandwidth=25.0, energy=2.0),
+        },
+    )
+    return CompositeDemandModel(style, compositing)
+
+
+def navigation_service(requester: str, name: str = "navigation") -> Service:
+    """Map rendering plus a light route-tracking task."""
+    request = navigation_request()
+    render = Task(
+        task_id=Task.fresh_id(f"{name}-render"),
+        request=request,
+        demand_model=navigation_demand(),
+        input_kb=220.0,
+        output_kb=120.0,
+        duration=20.0,
+    )
+    route = Task(
+        task_id=Task.fresh_id(f"{name}-route"),
+        request=request,
+        demand_model=LinearDemandModel(
+            base=Capacity.of(cpu=12.0, memory=16.0, energy=12.0),
+            per_unit={REFRESH_RATE: Capacity.of(cpu=1.5, energy=0.4)},
+        ),
+        input_kb=25.0,
+        output_kb=10.0,
+        duration=20.0,
+    )
+    return Service(name=name, tasks=(render, route), requester=requester)
+
+
+# --------------------------------------------------------------------------
+# Family registry
+# --------------------------------------------------------------------------
+
+#: Builder signature shared by every family: ``(requester, name) -> Service``.
+ServiceBuilder = Callable[..., Service]
+
+#: The three new families introduced by this module.
+NEW_SERVICE_FAMILIES: Dict[str, ServiceBuilder] = {
+    "speech": speech_recognition_service,
+    "sensor-fusion": sensor_fusion_service,
+    "navigation": navigation_service,
+}
+
+#: Every named family: the paper's motivating three plus the new three.
+SERVICE_FAMILIES: Dict[str, ServiceBuilder] = {
+    "movie": workload.movie_playback_service,
+    "surveillance": workload.surveillance_service,
+    "conference": workload.conference_service,
+    **NEW_SERVICE_FAMILIES,
+}
+
+
+def build_service(family: str, requester: str, name: str | None = None) -> Service:
+    """Instantiate a named service family for ``requester``.
+
+    Args:
+        family: A key of :data:`SERVICE_FAMILIES`.
+        requester: Node id of the requesting device.
+        name: Service name override (defaults to the family's own).
+
+    Raises:
+        KeyError: For an unknown family name (listing the valid ones).
+    """
+    try:
+        builder = SERVICE_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown service family {family!r}; "
+            f"available: {', '.join(SERVICE_FAMILIES)}"
+        ) from None
+    return builder(requester, name=name) if name is not None else builder(requester)
+
+
+def family_demand_bounds(family: str) -> Dict[str, Mapping[str, float]]:
+    """Preferred-level and worst-acceptable total demand of a family.
+
+    Sums each task's demand at its ladder's top and bottom — the numbers
+    the calibration targets in this module's docstrings talk about.
+    Returned as ``{"top": {...}, "bottom": {...}}`` keyed by resource
+    kind value (tests and docs assert against these).
+    """
+    service = build_service(family, requester="calibration")
+    top = Capacity.zero()
+    bottom = Capacity.zero()
+    for task in service.tasks:
+        ladder = task.ladder()
+        top = top + task.demand_at(ladder.top().values())
+        bottom = bottom + task.demand_at(ladder.bottom().values())
+    return {
+        "top": {kind.value: top.get(kind) for kind in top.kinds()},
+        "bottom": {kind.value: bottom.get(kind) for kind in bottom.kinds()},
+    }

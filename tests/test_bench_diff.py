@@ -1,0 +1,111 @@
+"""Tests for the bench-report differ (tools/bench_diff.py)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_diff  # noqa: E402 - needs the tools/ path above
+
+from repro.experiments.config import SweepConfig  # noqa: E402
+from repro.experiments.reporting import Table  # noqa: E402
+from repro.experiments.store import ResultsStore, new_run_record  # noqa: E402
+from repro.metrics.stats import describe  # noqa: E402
+
+
+def write_bench(
+    root: Path,
+    suite: str = "EX",
+    means=(1.0, 2.0),
+    spread: float = 0.0,
+    wall: float = 1.0,
+) -> Path:
+    """A minimal two-point bench report with controllable means/noise."""
+    table = Table("t", ["point", "m1", "m2"])
+    for point in ("p0", "p1"):
+        table.add_row(
+            point,
+            describe([means[0] - spread, means[0], means[0] + spread]),
+            describe([means[1] - spread, means[1], means[1] + spread]),
+        )
+    record = new_run_record(suite, table, SweepConfig(seeds=(1, 2, 3)), wall)
+    return ResultsStore(root).write_bench(record)
+
+
+def test_identical_reports_pass(tmp_path, capsys):
+    old = write_bench(tmp_path / "a")
+    new = write_bench(tmp_path / "b")
+    assert bench_diff.main([str(old), str(new), "--rtol", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "all metric means identical" in out
+
+
+def test_drift_beyond_tolerance_fails(tmp_path, capsys):
+    old = write_bench(tmp_path / "a", means=(1.0, 2.0))
+    new = write_bench(tmp_path / "b", means=(1.2, 2.0))
+    assert bench_diff.main([str(old), str(new), "--rtol", "0.05"]) == 1
+    err = capsys.readouterr().err
+    assert "regression(s) beyond tolerance" in err
+    assert "m1" in err
+
+
+def test_drift_within_rtol_passes(tmp_path):
+    old = write_bench(tmp_path / "a", means=(1.0, 2.0))
+    new = write_bench(tmp_path / "b", means=(1.02, 2.0))
+    assert bench_diff.main([str(old), str(new), "--rtol", "0.05"]) == 0
+
+
+def test_ci_slack_absorbs_noisy_drift(tmp_path):
+    old = write_bench(tmp_path / "a", means=(1.0, 2.0), spread=0.5)
+    new = write_bench(tmp_path / "b", means=(1.3, 2.0), spread=0.5)
+    # Raw drift 0.3 >> rtol 0, but both cells carry wide 95% CIs.
+    assert bench_diff.main([str(old), str(new), "--rtol", "0"]) == 0
+    assert bench_diff.main(
+        [str(old), str(new), "--rtol", "0", "--no-ci-slack"]
+    ) == 1
+
+
+def test_wall_time_reported_not_gated_by_default(tmp_path, capsys):
+    old = write_bench(tmp_path / "a", wall=1.0)
+    new = write_bench(tmp_path / "b", wall=10.0)
+    assert bench_diff.main([str(old), str(new)]) == 0
+    assert "wall time: 1.00s -> 10.00s" in capsys.readouterr().out
+    assert bench_diff.main([str(old), str(new), "--wall-rtol", "0.5"]) == 1
+
+
+def test_summary_vs_raw_cell_mismatch_exits_2(tmp_path, capsys):
+    """A cell that is a summary in one report but raw in the other is
+    'not comparable', not a crash or a silent skip."""
+    old = write_bench(tmp_path / "a")
+    new = write_bench(tmp_path / "b")
+    data = json.loads(new.read_text())
+    data["table"]["rows"][0][1] = 1.0  # raw float where old has a summary
+    new.write_text(json.dumps(data))
+    assert bench_diff.main([str(old), str(new)]) == 2
+    err = capsys.readouterr().err
+    assert "summary only in old report" in err
+
+
+def test_incomparable_reports_exit_2(tmp_path, capsys):
+    old = write_bench(tmp_path / "a", suite="EX")
+    new = write_bench(tmp_path / "b", suite="EY")
+    assert bench_diff.main([str(old), str(new)]) == 2
+    assert "not comparable" in capsys.readouterr().err
+
+
+def test_malformed_report_exits_2(tmp_path):
+    old = write_bench(tmp_path / "a")
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"not": "a bench report"}))
+    with pytest.raises(SystemExit) as excinfo:
+        bench_diff.load_report(bad)
+    assert excinfo.value.code == 2
+    missing = tmp_path / "missing.json"
+    with pytest.raises(SystemExit):
+        bench_diff.load_report(missing)
+    assert bench_diff.main([str(old), str(old)]) == 0  # self-diff sanity

@@ -7,9 +7,10 @@ Two checks, stdlib only:
    and ``README.md`` whose target is a relative path must resolve to an
    existing file (anchors and external URLs are skipped).
 2. **CLI flag coverage** — ``docs/cli.md`` must mention every option
-   string declared by ``add_argument`` in
-   ``src/repro/experiments/__main__.py``, so the flag reference cannot
-   silently drift from the argparse definition.
+   string declared by ``add_argument`` in each checked CLI module
+   (``src/repro/experiments/__main__.py`` and ``tools/bench_diff.py``),
+   so the flag reference cannot silently drift from the argparse
+   definitions.
 
 Exit code 0 when both pass; 1 with a per-finding report otherwise.
 Run locally as ``python tools/check_docs.py``.
@@ -24,8 +25,13 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DOCS = REPO / "docs"
-CLI_SOURCE = REPO / "src" / "repro" / "experiments" / "__main__.py"
 CLI_DOC = DOCS / "cli.md"
+
+#: CLI modules whose argparse option strings ``docs/cli.md`` must cover.
+CLI_SOURCES = (
+    REPO / "src" / "repro" / "experiments" / "__main__.py",
+    REPO / "tools" / "bench_diff.py",
+)
 
 #: Markdown inline links/images: [text](target) / ![alt](target).
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
@@ -68,9 +74,9 @@ def check_relative_links() -> list[str]:
     return problems
 
 
-def argparse_flags() -> list[str]:
-    """Every option string passed to ``add_argument`` in the CLI module."""
-    tree = ast.parse(CLI_SOURCE.read_text(), filename=str(CLI_SOURCE))
+def argparse_flags(source: Path) -> list[str]:
+    """Every option string passed to ``add_argument`` in one CLI module."""
+    tree = ast.parse(source.read_text(), filename=str(source))
     flags = []
     for node in ast.walk(tree):
         if not (isinstance(node, ast.Call)
@@ -85,20 +91,26 @@ def argparse_flags() -> list[str]:
 
 
 def check_cli_flags() -> list[str]:
-    """docs/cli.md must mention every argparse option string."""
+    """docs/cli.md must mention every checked module's option strings."""
     if not CLI_DOC.is_file():
         return [f"{CLI_DOC.relative_to(REPO)}: missing (CLI flag reference)"]
     text = CLI_DOC.read_text()
-    flags = argparse_flags()
-    if not flags:
-        return [f"{CLI_SOURCE.relative_to(REPO)}: no argparse flags found "
-                "(checker out of sync with the CLI?)"]
-    return [
-        f"{CLI_DOC.relative_to(REPO)}: flag {flag!r} from "
-        f"{CLI_SOURCE.relative_to(REPO)} is not documented"
-        for flag in flags
-        if flag not in text
-    ]
+    problems = []
+    for source in CLI_SOURCES:
+        flags = argparse_flags(source)
+        if not flags:
+            problems.append(
+                f"{source.relative_to(REPO)}: no argparse flags found "
+                "(checker out of sync with the CLI?)"
+            )
+            continue
+        problems.extend(
+            f"{CLI_DOC.relative_to(REPO)}: flag {flag!r} from "
+            f"{source.relative_to(REPO)} is not documented"
+            for flag in flags
+            if flag not in text
+        )
+    return problems
 
 
 def main() -> int:
@@ -109,8 +121,9 @@ def main() -> int:
         print(f"\n{len(problems)} docs problem(s) found", file=sys.stderr)
         return 1
     docs = len(iter_doc_files())
+    n_flags = sum(len(argparse_flags(source)) for source in CLI_SOURCES)
     print(f"docs check ok: {docs} file(s), all relative links resolve, "
-          f"all {len(argparse_flags())} CLI flags documented")
+          f"all {n_flags} CLI flags documented")
     return 0
 
 
