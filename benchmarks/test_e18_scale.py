@@ -1,0 +1,28 @@
+"""E18 — scale sweep: the negotiation hot path at large audiences.
+
+E4's agent-based scenario at 16–128 nodes — the regime where the
+pre-batching simulator spent its wall time in per-proposal evaluation
+and per-node reformulation (docs/performance.md). The table's metrics
+are deterministic; the wall time lands in ``BENCH_E18.json`` via the
+CLI, and CI diffs a fresh full sweep against the committed snapshot
+(``bench_diff --rtol 0 --wall-rtol 4.0``: exact metrics, coarse wall
+gate). Expected shape: same protocol behaviour as E4, just bigger —
+messages stay ~linear in the audience, simulated time stays bounded by
+the protocol constants, success stays high.
+"""
+
+from benchmarks.conftest import run_suite
+from repro.experiments.suites import e18_scale_sweep
+
+
+def test_e18_scale_sweep(benchmark, sweep, results_dir):
+    table = run_suite(benchmark, e18_scale_sweep, sweep, results_dir, "E18")
+    nodes = table.column("nodes")
+    messages = [s.mean for s in table.column("messages")]
+    times = [s.mean for s in table.column("sim time (s)")]
+    successes = [s.mean for s in table.column("success")]
+    growth = messages[-1] / messages[0]
+    node_growth = nodes[-1] / nodes[0]
+    assert growth <= node_growth * 2.0, "message growth must stay ~linear"
+    assert max(times) < 2.0, "sim time bounded by protocol constants"
+    assert min(successes) > 0.5

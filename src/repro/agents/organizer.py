@@ -41,9 +41,14 @@ from repro.agents.messages import (
 )
 from repro.core.admissibility import is_admissible
 from repro.core.coalition import Coalition, TaskAward
-from repro.core.evaluation import ProposalEvaluator, WeightScheme
-from repro.core.negotiation import NegotiationOutcome, formulate_node_proposals
+from repro.core.evaluation import BatchProposalEvaluator, WeightScheme
+from repro.core.negotiation import (
+    NegotiationOutcome,
+    formulate_node_proposals,
+    score_admissible,
+)
 from repro.core.proposal import Proposal
+from repro.errors import NotConnectedError
 from repro.core.selection import ScoredProposal, SelectionPolicy
 from repro.network.messaging import Message, NetworkService
 from repro.network.topology import Topology
@@ -76,6 +81,9 @@ class NegotiationSession:
         self.proposals: Dict[str, List[Proposal]] = {
             t.task_id: [] for t in service.tasks
         }
+        # Batched evaluators compiled per request (keyed by identity;
+        # the service keeps every request alive for the session).
+        self.evaluators: Dict[int, BatchProposalEvaluator] = {}
         self.responded: Set[str] = set()
         self.coalition = Coalition(service)
         self.unallocated: List[str] = []
@@ -85,7 +93,7 @@ class NegotiationSession:
         self.award_timer: Optional[EventHandle] = None
         self.closed = False
         self.proposals_received = 0
-        self.messages_sent = 0
+        self.protocol_messages = 0
 
 
 class OrganizerAgent(Agent):
@@ -151,7 +159,7 @@ class OrganizerAgent(Agent):
             organizer=self.node_id, hops_remaining=self.max_hops,
         )
         copies = self.broadcast(CFP, payload, size_kb=2.0 + 0.5 * len(service.tasks))
-        session.messages_sent += copies
+        session.protocol_messages += copies
 
         # The organizer's own node answers the CFP locally (zero latency).
         local = formulate_node_proposals(self.provider, service.tasks, now=self.engine.now)
@@ -184,6 +192,11 @@ class OrganizerAgent(Agent):
         self, session: NegotiationSession, sender: str, proposals: Sequence[Proposal]
     ) -> None:
         session.responded.add(sender)
+        if sender != self.node_id:
+            # One PROPOSE radio message carried this node's offers; the
+            # organizer's own reply is local. Counting it here keeps
+            # ``message_count`` aligned with the synchronous driver's.
+            session.protocol_messages += 1
         for proposal in proposals:
             if proposal.task_id in session.proposals:
                 session.proposals[proposal.task_id].append(proposal)
@@ -206,7 +219,10 @@ class OrganizerAgent(Agent):
             if self.max_hops > 1:
                 return self.topology.multihop_cost(service.requester, node_id)
             return self.topology.communication_cost(service.requester, node_id)
-        except Exception:
+        except NotConnectedError:
+            # The node drifted out of range since it proposed: its offer
+            # is unreachable. Unknown node ids and other errors are bugs
+            # and propagate.
             return float("inf")
 
     def _next_task(self, session: NegotiationSession) -> None:
@@ -215,14 +231,12 @@ class OrganizerAgent(Agent):
             self._finish(session)
             return
         task = session.service.tasks[session.task_index]
-        evaluator = ProposalEvaluator(task.request, weights=self.weights)
         admissible = [
             p for p in session.proposals[task.task_id]
             if is_admissible(task.request, p)
         ]
-        scored = SelectionPolicy.score(
-            admissible,
-            evaluator.distance,
+        scored = score_admissible(
+            task.request, admissible, self.weights, session.evaluators,
             lambda nid: self._comm_cost(session.service, nid),
             set(session.coalition.members),
         )
@@ -249,7 +263,7 @@ class OrganizerAgent(Agent):
         self.network.send_routed(
             self.node_id, proposal.node_id, AWARD, payload, size_kb=task.input_kb
         )
-        session.messages_sent += 1
+        session.protocol_messages += 1
         # The AWARD ships the task's input data; budget the timeout for
         # its transmission time across the hop budget (conservatively at
         # a quarter of nominal link rate) on top of the base timeout.
@@ -350,7 +364,7 @@ class OrganizerAgent(Agent):
             unallocated=session.unallocated,
             candidates=tuple(sorted(session.responded)),
             proposals_received=session.proposals_received,
-            message_count=session.messages_sent,
+            message_count=session.protocol_messages,
         )
         self.engine.tracer.emit(
             self.engine.now, "negotiation", "complete",

@@ -34,11 +34,14 @@ from repro.core.negotiation import (
     NegotiationOutcome,
     _Ledger,
     candidate_nodes,
+    collect_proposals,
     formulate_node_proposals,
     negotiate,
+    remote_award_messages,
 )
 from repro.core.proposal import Proposal
 from repro.core.selection import SelectionPolicy
+from repro.errors import NotConnectedError
 from repro.network.topology import Topology
 from repro.qos.levels import QualityAssignment
 from repro.resources.provider import QoSProvider
@@ -112,19 +115,15 @@ def random_admissible(
 ) -> NegotiationOutcome:
     """Each task to a uniformly random admissible+servable offer."""
     audience = candidate_nodes(service, topology)
+    requester = service.requester
     coalition = Coalition(service, formed_at=now)
     ledger = _Ledger(providers)
     unallocated: List[str] = []
 
-    by_task: Dict[str, List[Proposal]] = {t.task_id: [] for t in service.tasks}
-    proposals_received = 0
-    for node_id in audience:
-        provider = providers.get(node_id)
-        if provider is None:
-            continue
-        for proposal in formulate_node_proposals(provider, service.tasks, now=now):
-            by_task[proposal.task_id].append(proposal)
-            proposals_received += 1
+    # Same radio-message bookkeeping as negotiate (shared helpers), so
+    # baseline-vs-protocol message comparisons stay apples to apples.
+    by_task, messages = collect_proposals(service, audience, providers, now=now)
+    proposals_received = sum(len(v) for v in by_task.values())
 
     for task in service.tasks:
         evaluator = ProposalEvaluator(task.request)
@@ -140,8 +139,8 @@ def random_admissible(
             ledger.admit(proposal.node_id, demand)
             try:
                 comm = topology.communication_cost(service.requester, proposal.node_id)
-            except Exception:
-                comm = float("inf")
+            except NotConnectedError:
+                comm = float("inf")  # out of range, not an error
             coalition.add_award(
                 TaskAward(
                     task_id=task.task_id,
@@ -158,13 +157,14 @@ def random_admissible(
         if not awarded:
             unallocated.append(task.task_id)
 
+    messages += remote_award_messages(coalition, requester)
     return NegotiationOutcome(
         service=service,
         coalition=coalition,
         unallocated=unallocated,
         candidates=audience,
         proposals_received=proposals_received,
-        message_count=len(audience) + proposals_received + len(coalition.awards),
+        message_count=messages,
     )
 
 
@@ -248,8 +248,8 @@ def exhaustive_optimal(
             ledger.admit(node_id, demand)
             try:
                 comm = topology.communication_cost(service.requester, node_id)
-            except Exception:
-                feasible = False
+            except NotConnectedError:
+                feasible = False  # out of range, not an error
                 break
             awards.append(
                 TaskAward(

@@ -41,7 +41,9 @@ Interpretation choices (documented because the paper under-specifies):
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import DomainError, NegotiationError
 from repro.core.proposal import Proposal
@@ -208,3 +210,202 @@ class ProposalEvaluator:
             )
             total += w_k * inner
         return total
+
+
+class _CompiledAttribute:
+    """One attribute's precompiled eq. 5 state (see BatchProposalEvaluator).
+
+    ``dif_cache`` maps ``(value class, value)`` to the finished dif — the
+    class is part of the key so an ``int`` and a numerically equal
+    ``float`` cannot alias each other's (type-sensitive) validation.
+    """
+
+    __slots__ = (
+        "name", "continuous", "domain", "pref_value", "pref_position",
+        "span", "ladder", "dif_cache",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        continuous: bool,
+        domain: Any,
+        pref_value: float,
+        pref_position: int,
+        span: float,
+        ladder: Tuple[Any, ...],
+    ) -> None:
+        self.name = name
+        self.continuous = continuous
+        self.domain = domain
+        self.pref_value = pref_value
+        self.pref_position = pref_position
+        self.span = span
+        self.ladder = ladder
+        self.dif_cache: Dict[Tuple[type, Any], float] = {}
+
+
+class BatchProposalEvaluator:
+    """Vectorized eq. 2–5 scoring of a whole proposal list (lower = better).
+
+    :class:`ProposalEvaluator` re-derives ranks, weights and eq. 5
+    denominators on every ``distance`` call; in the negotiation hot path
+    (one evaluation per proposal per task per service) that per-call
+    recomputation dominates. This evaluator **precompiles the request
+    once** — dimension weights (eq. 3), attribute weights (eq. 4),
+    continuous spans, discrete position tables, and request-ladder
+    indices for ``normalize_by="request"`` — and scores an entire
+    proposal list in one call, with per-attribute dif values cached per
+    distinct offered value and the eq. 4/eq. 2 reductions done as numpy
+    array arithmetic across proposals.
+
+    Bit-exactness contract: for every proposal the reduction performs the
+    same float operations in the same order as the scalar
+    :meth:`ProposalEvaluator.distance` — per dimension, ``w_i · dif``
+    terms accumulate in attribute order; across dimensions, ``w_k ·
+    dist(Q_k)`` terms accumulate in importance order — so
+    ``distances(props)[i] == ProposalEvaluator(...).distance(props[i])``
+    holds exactly (``==``, not approximately; asserted in
+    ``tests/test_batch_evaluation.py``). Error behaviour matches too:
+    out-of-domain or unacceptable values raise the scalar path's
+    :class:`~repro.errors.DomainError`, missing attributes its
+    ``KeyError``.
+
+    Args:
+        request: The user's request (same as :class:`ProposalEvaluator`).
+        weights: Rank→weight scheme (eq. 3).
+        normalize_by: ``"domain"`` or ``"request"`` (eq. 5 denominators).
+        signed: Use eq. 5 literally instead of absolute magnitudes.
+        float_steps: Request-ladder expansion granularity for
+            ``normalize_by="request"`` on continuous attributes.
+    """
+
+    def __init__(
+        self,
+        request: ServiceRequest,
+        weights: WeightScheme = WeightScheme.LINEAR,
+        normalize_by: str = "domain",
+        signed: bool = False,
+        float_steps: int = 8,
+    ) -> None:
+        if normalize_by not in ("domain", "request"):
+            raise NegotiationError(
+                f"normalize_by must be 'domain' or 'request', got {normalize_by!r}"
+            )
+        self.request = request
+        self.weights = weights
+        self.normalize_by = normalize_by
+        self.signed = signed
+        self.float_steps = float_steps
+
+        # -- compile: one pass over the request ---------------------------
+        n_dims = len(request.dimensions)
+        dims: List[Tuple[float, List[Tuple[_CompiledAttribute, float]]]] = []
+        dim_weights: List[float] = []
+        attr_weights: List[float] = []
+        denominators: List[float] = []
+        for k, dp in enumerate(request.dimensions, start=1):
+            w_k = weights.weight(k, n_dims)
+            dim_weights.append(w_k)
+            count = len(dp.attributes)
+            compiled_attrs: List[Tuple[_CompiledAttribute, float]] = []
+            for i, ap in enumerate(dp.attributes, start=1):
+                w_i = weights.weight(i, count)
+                attr_weights.append(w_i)
+                entry = self._compile_attribute(ap.attribute)
+                denominators.append(entry.span)
+                compiled_attrs.append((entry, w_i))
+            dims.append((w_k, compiled_attrs))
+        self._dims = dims
+        # Read-only introspection mirrors of the compiled state (the
+        # reduction itself walks ``_dims``); pinned against the scalar
+        # evaluator's weights in tests/test_batch_evaluation.py.
+        #: eq. 3 weights per dimension, importance order.
+        self.dim_weights = np.asarray(dim_weights)
+        #: eq. 4 weights per attribute, dimension-major importance order.
+        self.attr_weights = np.asarray(attr_weights)
+        #: eq. 5 denominators per attribute, dimension-major order.
+        self.denominators = np.asarray(denominators)
+
+    def _compile_attribute(self, name: str) -> _CompiledAttribute:
+        pref = self.request.preference_for(name).preferred
+        domain = self.request.spec.attribute(name).domain
+        if isinstance(domain, ContinuousDomain):
+            if self.normalize_by == "domain":
+                span = domain.span()
+            else:
+                lo, hi = self.request.preference_for(name).bounds()
+                width = hi - lo
+                span = width if width > 0 else 1.0
+            return _CompiledAttribute(
+                name, True, domain, float(pref), 0, span, (),
+            )
+        assert isinstance(domain, DiscreteDomain)
+        if self.normalize_by == "domain":
+            return _CompiledAttribute(
+                name, False, domain, 0.0, domain.position(pref),
+                domain.span(), (),
+            )
+        ladder = build_ladder(
+            self.request.preference_for(name), domain.value_type,
+            self.float_steps,
+        )
+        return _CompiledAttribute(
+            name, False, domain, 0.0, ladder.index(pref),
+            float(max(len(ladder) - 1, 1)), ladder,
+        )
+
+    # -- eq. 5 (compiled) -------------------------------------------------
+
+    def _dif(self, entry: _CompiledAttribute, proposed: Any) -> float:
+        """Scalar-identical ``dif`` from the compiled tables."""
+        if entry.continuous:
+            raw = (float(entry.domain.validate(proposed)) - entry.pref_value) \
+                / entry.span
+        elif not entry.ladder:  # discrete, domain-normalized
+            raw = (entry.domain.position(proposed) - entry.pref_position) \
+                / entry.span
+        else:  # discrete, request-normalized
+            try:
+                pos = entry.ladder.index(proposed)
+            except ValueError:
+                raise DomainError(
+                    f"proposed value {proposed!r} not among acceptable values "
+                    f"of {entry.name!r}"
+                ) from None
+            raw = (pos - entry.pref_position) / entry.span
+        return raw if self.signed else abs(raw)
+
+    # -- eq. 2 over a batch -------------------------------------------------
+
+    def distances(self, proposals: Sequence[Proposal]) -> np.ndarray:
+        """eq. 2 distances of every proposal, in input order.
+
+        Each element equals the scalar evaluator's ``distance`` for that
+        proposal exactly (see the class docs for the op-order argument).
+        """
+        n = len(proposals)
+        total = np.zeros(n)
+        if n == 0:
+            return total
+        column = np.empty(n)
+        for w_k, compiled_attrs in self._dims:
+            dim_total = np.zeros(n)
+            for entry, w_i in compiled_attrs:
+                cache = entry.dif_cache
+                name = entry.name
+                for j, proposal in enumerate(proposals):
+                    value = proposal.value(name)
+                    key = (value.__class__, value)
+                    dif = cache.get(key)
+                    if dif is None:
+                        dif = self._dif(entry, value)
+                        cache[key] = dif
+                    column[j] = dif
+                dim_total += w_i * column
+            total += w_k * dim_total
+        return total
+
+    def distance(self, proposal: Proposal) -> float:
+        """Single-proposal convenience wrapper around :meth:`distances`."""
+        return float(self.distances((proposal,))[0])

@@ -17,6 +17,20 @@ and breaks reward ties deterministically by (task order, attribute
 importance order) so runs are reproducible. Termination is guaranteed:
 each iteration strictly increases the total ladder index, which is
 bounded by the sum of ladder depths.
+
+Performance: each loop iteration degrades exactly one task, so the
+candidate steps (and eq. 1 rewards) of every *other* task are unchanged
+from the previous iteration. Moreover a task's cheapest step depends
+only on ``(assignment, penalty, float_steps)`` — not on the node whose
+headroom is being probed — so the memo lives on the
+:class:`~repro.services.task.Task` itself (``_reward_cache`` /
+``_step_cache``) and is shared by every provider answering the same
+CFP: with an audience of 64 nodes, each quality level's reward and best
+degradation are computed once, not 64 times. Identical arithmetic is
+reused, never recomputed differently, so outcomes stay bit-identical
+(asserted in ``tests/test_batch_evaluation.py``). The degrade loop is
+the negotiation hot path: every provider runs it for every CFP (see
+``tools/profile_negotiation.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +45,10 @@ from repro.services.task import Task
 
 SchedulabilityTest = Callable[[Mapping[str, QualityAssignment]], bool]
 """Predicate: can this node serve all tasks at these levels simultaneously?"""
+
+_DEFAULT_PENALTY = LinearPenalty()
+"""Shared default policy: a stable identity keeps the per-task reward/step
+memos (keyed by penalty object) warm across ``formulate`` calls."""
 
 
 @dataclass
@@ -100,7 +118,7 @@ def formulate(
             configuration cannot be found (e.g. dependencies are
             unsatisfiable on the acceptable ladders).
     """
-    penalty = penalty if penalty is not None else LinearPenalty()
+    penalty = penalty if penalty is not None else _DEFAULT_PENALTY
     ids = [t.task_id for t in tasks]
     if len(set(ids)) != len(ids):
         raise InfeasibleTaskError("duplicate task ids in formulation")
@@ -119,55 +137,95 @@ def formulate(
             current[task.task_id] = repaired
             degradations += steps
 
+    # eq. 1 rewards and best steps are memoized on the Task (shared
+    # across every provider probing this CFP, see the module docs); the
+    # keys carry everything the cached value depends on.
+    def reward_of(task: Task, assignment: QualityAssignment) -> float:
+        key = (penalty, float_steps, assignment.index_key())
+        value = task._reward_cache.get(key)
+        if value is None:
+            value = local_reward(assignment, penalty)
+            task._reward_cache[key] = value
+        return value
+
+    # Per-task best candidate step for the *current* assignment; entries
+    # are dropped (and lazily re-fetched) only for the degraded task.
+    options: Dict[str, Optional[Tuple[float, int, QualityAssignment]]] = {}
+
     while not is_schedulable(current):
-        step = _cheapest_degradation(tasks, current, penalty, require_dependencies)
-        if step is None:
+        chosen: Optional[Tuple[Tuple[float, int, int], str, QualityAssignment]] = None
+        for t_index, task in enumerate(tasks):
+            tid = task.task_id
+            if tid not in options:
+                skey = (
+                    penalty, require_dependencies, float_steps,
+                    current[tid].index_key(),
+                )
+                entry = task._step_cache.get(skey, _MISSING)
+                if entry is _MISSING:
+                    entry = _best_task_step(
+                        task, current[tid], require_dependencies, reward_of
+                    )
+                    task._step_cache[skey] = entry
+                options[tid] = entry
+            entry = options[tid]
+            if entry is None:
+                continue
+            decrease, a_index, candidate = entry
+            key = (decrease, t_index, a_index)
+            if chosen is None or key < chosen[0]:
+                chosen = (key, tid, candidate)
+        if chosen is None:
             return FormulationResult(
                 assignments=current,
                 degradations=degradations,
-                rewards={tid: local_reward(a, penalty) for tid, a in current.items()},
+                rewards={
+                    t.task_id: reward_of(t, current[t.task_id]) for t in tasks
+                },
                 feasible=False,
             )
-        task_id, new_assignment = step
+        _, task_id, new_assignment = chosen
         current[task_id] = new_assignment
+        options.pop(task_id)
         degradations += 1
 
     return FormulationResult(
         assignments=current,
         degradations=degradations,
-        rewards={tid: local_reward(a, penalty) for tid, a in current.items()},
+        rewards={t.task_id: reward_of(t, current[t.task_id]) for t in tasks},
         feasible=True,
     )
 
 
-def _cheapest_degradation(
-    tasks: Sequence[Task],
-    current: Mapping[str, QualityAssignment],
-    penalty: PenaltyPolicy,
-    require_dependencies: bool,
-) -> Optional[Tuple[str, QualityAssignment]]:
-    """Steps 2a–2c: the minimum-reward-decrease single degradation.
+_MISSING = object()
+"""Step-cache sentinel: ``None`` is a valid cached value ("cannot degrade")."""
 
-    Returns ``None`` when no task can degrade any further (all at
-    ``Q_kn``, or every remaining step violates dependencies).
+
+def _best_task_step(
+    task: Task,
+    assignment: QualityAssignment,
+    require_dependencies: bool,
+    reward_of: Callable[[Task, QualityAssignment], float],
+) -> Optional[Tuple[float, int, QualityAssignment]]:
+    """Steps 2a–2b for one task: its minimum-reward-decrease degradation.
+
+    Returns ``(decrease, attribute index, candidate)`` — first-listed
+    attribute wins exact ties, matching the pre-memoization scan order —
+    or ``None`` when the task cannot degrade at all (already at ``Q_kn``,
+    or every remaining step violates dependencies).
     """
-    best: Optional[Tuple[float, int, int, str, QualityAssignment]] = None
-    for t_index, task in enumerate(tasks):
-        assignment = current[task.task_id]
-        before = local_reward(assignment, penalty)
-        for a_index, attr in enumerate(assignment.ladder_set.request.attribute_names):
-            if not assignment.can_degrade(attr):
-                continue
-            candidate = assignment.degrade(attr)
-            if require_dependencies and not _dependency_ok(candidate):
-                continue
-            decrease = before - local_reward(candidate, penalty)
-            key = (decrease, t_index, a_index, task.task_id, candidate)
-            if best is None or key[:3] < best[:3]:
-                best = key
-    if best is None:
-        return None
-    return best[3], best[4]
+    before = reward_of(task, assignment)
+    best: Optional[Tuple[float, int, QualityAssignment]] = None
+    for a_index, attr in enumerate(assignment.ladder_set.request.attribute_names):
+        if not assignment.can_degrade(attr):
+            continue
+        candidate = assignment.degrade(attr)
+        if require_dependencies and not _dependency_ok(candidate):
+            continue
+        decrease = before - reward_of(task, candidate)
+        if best is None or (decrease, a_index) < best[:2]:
+            best = (decrease, a_index, candidate)
+    return best
 
 
 def _repair_dependencies(

@@ -33,13 +33,17 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.admissibility import is_admissible
 from repro.core.coalition import Coalition, TaskAward
-from repro.core.evaluation import ProposalEvaluator, WeightScheme
+from repro.core.evaluation import (
+    BatchProposalEvaluator,
+    ProposalEvaluator,
+    WeightScheme,
+)
 from repro.core.formulation import formulate
 from repro.core.proposal import Proposal
 from repro.core.reputation import ReputationTracker
 from repro.core.reward import PenaltyPolicy
 from repro.core.selection import ScoredProposal, SelectionPolicy
-from repro.errors import CapacityExceededError
+from repro.errors import CapacityExceededError, NotConnectedError
 from repro.network.topology import Topology
 from repro.qos.levels import QualityAssignment
 from repro.resources.capacity import Capacity
@@ -47,6 +51,12 @@ from repro.resources.kinds import ResourceKind
 from repro.resources.provider import QoSProvider
 from repro.services.service import Service
 from repro.services.task import Task
+
+#: Feature switch for the batched step-3 evaluation path. The scalar
+#: per-proposal path is kept so tests can assert both paths produce
+#: bit-identical outcomes (``tests/test_batch_evaluation.py``); leave
+#: this ``True`` outside of those A/B comparisons.
+USE_BATCH_EVALUATION = True
 
 
 @dataclass
@@ -59,9 +69,13 @@ class NegotiationOutcome:
         unallocated: Task ids no admissible+servable proposal covered.
         candidates: Node ids that were asked for proposals.
         proposals_received: Count of proposals received across tasks.
-        message_count: Protocol messages the run would have cost
-            (1 broadcast copy per candidate + 1 per proposal + 1 per
-            award), matching what the agent-based version sends.
+        message_count: Radio messages the run would have cost: 1 CFP copy
+            per provider-backed candidate other than the requester, 1
+            reply per remote node that proposes (a PROPOSE bundles all of
+            that node's per-task proposals), and 1 per award to a remote
+            node — matching what the agent-based organizer sends (its
+            own node answers the CFP and receives awards locally,
+            costing no radio traffic).
     """
 
     service: Service
@@ -127,14 +141,63 @@ def candidate_nodes(
     negotiation"). ``max_hops=1`` is the paper's one-hop broadcast;
     larger values model the relayed-CFP extension (the fixed-cluster
     scope of §1).
+
+    A dead requester cannot broadcast a CFP at all, so its audience is
+    empty — previously its (possibly stale) neighborhood was still
+    polled, letting a crashed node negotiate.
     """
     requester = service.requester
-    ids = [requester] if topology.node(requester).alive else []
+    if not topology.node(requester).alive:
+        return ()
+    ids = [requester]
     if max_hops <= 1:
         ids.extend(topology.neighbors(requester))
     else:
         ids.extend(topology.khop_neighbors(requester, max_hops))
     return tuple(dict.fromkeys(ids))  # preserve order, dedupe
+
+
+def collect_proposals(
+    service: Service,
+    audience: Sequence[str],
+    providers: Mapping[str, QoSProvider],
+    penalty: Optional[PenaltyPolicy] = None,
+    now: float = 0.0,
+    float_steps: int = 8,
+) -> Tuple[Dict[str, List[Proposal]], int]:
+    """Steps 1–2 bookkeeping shared by :func:`negotiate` and the
+    baselines: gather every audience node's proposals per task and count
+    the radio messages so far — one CFP copy per provider-backed
+    candidate other than the requester, one bundled reply per responding
+    remote node (the single home of those counting rules; step 4's
+    remote-award count lives in :func:`remote_award_messages`).
+    """
+    requester = service.requester
+    messages = sum(
+        1 for nid in audience if nid != requester and nid in providers
+    )
+    by_task: Dict[str, List[Proposal]] = {t.task_id: [] for t in service.tasks}
+    for node_id in audience:
+        provider = providers.get(node_id)
+        if provider is None:
+            continue
+        node_proposals = formulate_node_proposals(
+            provider, service.tasks, penalty=penalty, now=now,
+            float_steps=float_steps,
+        )
+        if node_id != requester and node_proposals:
+            messages += 1
+        for proposal in node_proposals:
+            by_task[proposal.task_id].append(proposal)
+    return by_task, messages
+
+
+def remote_award_messages(coalition: Coalition, requester: str) -> int:
+    """Step 4's radio messages: one per award to a remote node (an award
+    to the requester itself is local and costs nothing)."""
+    return sum(
+        1 for award in coalition.awards.values() if award.node_id != requester
+    )
 
 
 def formulate_node_proposals(
@@ -210,6 +273,45 @@ def formulate_node_proposals(
     return proposals
 
 
+def score_admissible(
+    request,
+    admissible: Sequence[Proposal],
+    weights: WeightScheme,
+    evaluator_cache: Dict[int, BatchProposalEvaluator],
+    comm_cost,
+    members: set,
+    reputation=None,
+    battery=None,
+    evaluator_kwargs: Optional[dict] = None,
+) -> Tuple[ScoredProposal, ...]:
+    """Step-3 scoring of one task's admissible proposals (both drivers).
+
+    With :data:`USE_BATCH_EVALUATION` on (the default), distances come
+    from a :class:`BatchProposalEvaluator` compiled once per request —
+    ``evaluator_cache`` is keyed by request identity and owned by the
+    caller (one negotiation run / one organizer session), so tasks
+    sharing a request reuse the compiled arrays. With the switch off the
+    scalar evaluator reproduces the pre-batching path; both paths score
+    bit-identically (``tests/test_batch_evaluation.py``).
+    """
+    kwargs = evaluator_kwargs or {}
+    if USE_BATCH_EVALUATION:
+        evaluator = evaluator_cache.get(id(request))
+        if evaluator is None:
+            evaluator = BatchProposalEvaluator(request, weights=weights, **kwargs)
+            evaluator_cache[id(request)] = evaluator
+        return SelectionPolicy.score(
+            admissible, None, comm_cost, members,
+            reputation=reputation, battery=battery,
+            distances=[float(d) for d in evaluator.distances(admissible)],
+        )
+    scalar = ProposalEvaluator(request, weights=weights, **kwargs)
+    return SelectionPolicy.score(
+        admissible, scalar.distance, comm_cost, members,
+        reputation=reputation, battery=battery,
+    )
+
+
 def negotiate(
     service: Service,
     topology: Topology,
@@ -260,22 +362,12 @@ def negotiate(
         tuple(candidates) if candidates is not None
         else candidate_nodes(service, topology, max_hops)
     )
-    messages = len(audience)  # step 1: one broadcast copy per candidate
-
-    # Step 2: collect proposals per task.
-    by_task: Dict[str, List[Proposal]] = {t.task_id: [] for t in service.tasks}
-    for node_id in audience:
-        provider = providers.get(node_id)
-        if provider is None:
-            continue
-        node_proposals = formulate_node_proposals(
-            provider, service.tasks, penalty=penalty, now=now,
-            float_steps=evaluator_options.get("float_steps", 8),
-        )
-        messages += len(node_proposals)  # step 2: one reply per proposal
-        for proposal in node_proposals:
-            by_task[proposal.task_id].append(proposal)
-
+    # Steps 1–2: broadcast the CFP and collect per-task proposals; the
+    # helper also tallies the radio messages those steps cost.
+    by_task, messages = collect_proposals(
+        service, audience, providers, penalty=penalty, now=now,
+        float_steps=evaluator_options.get("float_steps", 8),
+    )
     proposals_received = sum(len(v) for v in by_task.values())
     ledger = _Ledger(providers) if not commit else None
 
@@ -284,15 +376,22 @@ def negotiate(
             if max_hops > 1:
                 return topology.multihop_cost(service.requester, node_id)
             return topology.communication_cost(service.requester, node_id)
-        except Exception:
+        except NotConnectedError:
+            # No direct link: the offer is unreachable, not erroneous.
+            # Anything else (unknown node ids, ...) is a caller bug and
+            # propagates instead of masquerading as "unreachable".
             return float("inf")
 
     # Step 3 + 4: evaluate, select, award with admission re-check.
+    # Evaluators compile per *request*, not per task: tasks sharing a
+    # request (common in generated workloads) reuse one compiled set of
+    # weights/denominators and its dif caches.
+    evaluators: Dict[int, BatchProposalEvaluator] = {}
+    evaluator_kwargs = {
+        k: v for k, v in evaluator_options.items() if k != "float_steps"
+    }
     unallocated: List[str] = []
     for task in service.tasks:
-        evaluator = ProposalEvaluator(task.request, weights=weights, **{
-            k: v for k, v in evaluator_options.items() if k != "float_steps"
-        })
         admissible = [
             p for p in by_task[task.task_id] if is_admissible(task.request, p)
         ]
@@ -301,10 +400,12 @@ def negotiate(
             provider = providers.get(node_id)
             return provider.node.battery_fraction if provider else 0.0
 
-        scored = SelectionPolicy.score(
-            admissible, evaluator.distance, comm_cost, set(coalition.members),
+        scored = score_admissible(
+            task.request, admissible, weights, evaluators, comm_cost,
+            set(coalition.members),
             reputation=reputation.score if reputation is not None else None,
             battery=battery,
+            evaluator_kwargs=evaluator_kwargs,
         )
         ranked = selection.rank(scored)
         awarded = _try_award(
@@ -314,8 +415,8 @@ def negotiate(
             unallocated.append(task.task_id)
         else:
             coalition.add_award(awarded)
-            messages += 1  # step 4: award/data message to the winner
 
+    messages += remote_award_messages(coalition, service.requester)
     return NegotiationOutcome(
         service=service,
         coalition=coalition,

@@ -1,6 +1,7 @@
 """The experiment suites (the paper’s missing evaluation section).
 
-E1–E14 live in this module; the scenario-generation suites E15–E17
+E1–E14 and the E18 scale sweep live in this module; the
+scenario-generation suites E15–E17
 (:mod:`repro.experiments.workload_suites`, built on
 :mod:`repro.workloads`) are imported and registered at the bottom so
 :data:`SUITE_PLANS` and :data:`ALL_SUITES` stay the single sources of
@@ -290,20 +291,11 @@ def e3_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
 # ==========================================================================
 
 
-def e4_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
-    """Claim (§1, §4.2): the distributed protocol scales with node count.
-
-    Agent-based negotiation on the simulated network; messages should grow
-    linearly in the audience and negotiation time stays bounded by the
-    proposal window + award round-trips.
+def _agent_protocol_points(sizes: Tuple[int, ...]) -> List[SweepPoint]:
+    """One sweep point per node count of the agent-based movie-playback
+    protocol run — the measurement body shared by E4 and its E18 scale
+    sweep, so the two suites can never drift apart in what they measure.
     """
-    sizes = (4, 8, 16) if sweep.quick else (4, 8, 16, 32, 64)
-    table = Table(
-        "E4 — protocol scalability (agent-based, movie playback)",
-        ["nodes", "messages", "sim time (s)", "success", "proposals"],
-        caption="Messages counted end-to-end (CFP copies + proposals + "
-                "awards); sim time = CFP broadcast to outcome delivery.",
-    )
     points = []
     for n in sizes:
         def run(seed: int, n=n) -> Dict[str, float]:
@@ -325,7 +317,26 @@ def e4_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
             label=n, run=run,
             keys=("messages", "time", "success", "proposals"),
         ))
-    return SuitePlan("E4", table, points)
+    return points
+
+
+def e4_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Claim (§1, §4.2): the distributed protocol scales with node count.
+
+    Agent-based negotiation on the simulated network; messages should grow
+    linearly in the audience and negotiation time stays bounded by the
+    proposal window + award round-trips.
+    """
+    sizes = (4, 8, 16) if sweep.quick else (4, 8, 16, 32, 64)
+    table = Table(
+        "E4 — protocol scalability (agent-based, movie playback)",
+        ["nodes", "messages", "sim time (s)", "success", "proposals"],
+        caption="Messages = every radio transmission the protocol makes "
+                "(CFP copies, bundled PROPOSE replies, awards, "
+                "confirmations); sim time = CFP broadcast to outcome "
+                "delivery.",
+    )
+    return SuitePlan("E4", table, _agent_protocol_points(sizes))
 
 
 # ==========================================================================
@@ -1032,6 +1043,38 @@ def e14_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     return SuitePlan("E14", table, points)
 
 
+# ==========================================================================
+# E18 — scale sweep: the negotiation hot path at large audiences
+# ==========================================================================
+
+
+def e18_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Perf trajectory (ROADMAP: scale the simulator itself): E4's
+    agent-based movie-playback scenario pushed to large audiences.
+
+    Same protocol and metrics as E4, swept to 16/32/64/128 nodes — the
+    regime where the pre-batching simulator spent most of its wall time
+    in per-proposal evaluation and per-node reformulation. The table's
+    metrics are deterministic (bit-identical serial vs parallel, like
+    every suite); the *wall time* recorded in ``BENCH_E18.json`` is the
+    speedup gauge. CI re-runs the full sweep and diffs it against the
+    committed ``benchmarks/results/BENCH_E18.json`` with
+    ``tools/bench_diff.py --rtol 0 --wall-rtol 4.0`` — exact on
+    metrics, coarse on wall time (see ``docs/performance.md``).
+    """
+    sizes = (16, 32) if sweep.quick else (16, 32, 64, 128)
+    table = Table(
+        "E18 — scale sweep (agent-based, movie playback, 16–128 nodes)",
+        ["nodes", "messages", "sim time (s)", "success", "proposals"],
+        caption="E4's scenario at E4-and-beyond audiences. Messages = "
+                "every radio transmission (CFP copies, bundled PROPOSE "
+                "replies, awards, confirmations); wall time lives in "
+                "the bench report, not the table, so the determinism "
+                "gate stays exact.",
+    )
+    return SuitePlan("E18", table, _agent_protocol_points(sizes))
+
+
 #: Plan builders, keyed by experiment id — what the shared work-queue
 #: scheduler (:func:`repro.experiments.parallel.run_batch`) consumes.
 SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
@@ -1052,6 +1095,7 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E15": e15_plan,
     "E16": e16_plan,
     "E17": e17_plan,
+    "E18": e18_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1072,6 +1116,7 @@ e14_pipeline = _table_suite(e14_plan, "e14_pipeline")
 e15_contention = _table_suite(e15_plan, "e15_contention")
 e16_saturation = _table_suite(e16_plan, "e16_saturation")
 e17_new_services = _table_suite(e17_plan, "e17_new_services")
+e18_scale_sweep = _table_suite(e18_plan, "e18_scale_sweep")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1092,4 +1137,5 @@ ALL_SUITES = {
     "E15": e15_contention,
     "E16": e16_saturation,
     "E17": e17_new_services,
+    "E18": e18_scale_sweep,
 }

@@ -140,7 +140,7 @@ class QualityAssignment:
     Instances are immutable; degradation steps return new assignments.
     """
 
-    __slots__ = ("ladder_set", "_indices")
+    __slots__ = ("ladder_set", "_indices", "_key")
 
     def __init__(self, ladder_set: DegradationLadder, indices: Mapping[str, int]) -> None:
         if set(indices) != set(ladder_set.ladders):
@@ -153,6 +153,20 @@ class QualityAssignment:
                 )
         self.ladder_set = ladder_set
         self._indices: Dict[str, int] = dict(indices)
+        self._key: Tuple[Tuple[str, int], ...] | None = None
+
+    @classmethod
+    def _trusted(
+        cls, ladder_set: DegradationLadder, indices: Dict[str, int]
+    ) -> "QualityAssignment":
+        """Construct from already-validated indices, skipping the checks
+        (and taking ownership of ``indices``). Internal fast path for
+        :meth:`degrade`, whose results are valid by construction."""
+        self = object.__new__(cls)
+        self.ladder_set = ladder_set
+        self._indices = indices
+        self._key = None
+        return self
 
     # -- views ------------------------------------------------------------
 
@@ -173,6 +187,18 @@ class QualityAssignment:
 
     def indices(self) -> Dict[str, int]:
         return dict(self._indices)
+
+    def index_key(self) -> Tuple[Tuple[str, int], ...]:
+        """Hashable, order-independent ``(attribute, level)`` key.
+
+        Used as a memoization key by the formulation heuristic (two
+        assignments over the same ladders are the same quality level iff
+        their keys are equal). Computed once per (immutable) instance."""
+        key = self._key
+        if key is None:
+            key = tuple(sorted(self._indices.items()))
+            self._key = key
+        return key
 
     @property
     def at_top(self) -> bool:
@@ -208,7 +234,7 @@ class QualityAssignment:
             raise DomainError(f"attribute {attribute!r} already at worst level")
         idx = dict(self._indices)
         idx[attribute] += 1
-        return QualityAssignment(self.ladder_set, idx)
+        return QualityAssignment._trusted(self.ladder_set, idx)
 
     def degradable_attributes(self) -> Tuple[str, ...]:
         """All attributes that still have a lower level, in request
@@ -230,7 +256,7 @@ class QualityAssignment:
         )
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self._indices.items())))
+        return hash(self.index_key())
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{a}={self.value(a)!r}@{i}" for a, i in sorted(self._indices.items()))

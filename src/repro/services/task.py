@@ -13,8 +13,8 @@ A task is what one coalition member executes. It bundles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.qos.levels import DegradationLadder
 from repro.qos.request import ServiceRequest
@@ -37,6 +37,18 @@ class Task:
         output_kb: Data shipped back on completion.
         duration: Nominal execution time in simulated seconds (resources
             stay reserved for this long during the operation phase).
+
+    Ladders, demand vectors, eq. 1 rewards and degradation steps are
+    memoized per task: every provider a CFP reaches probes the *same*
+    quality levels of the same task, so the answers (pure functions of
+    the immutable request / demand model) are shared across the whole
+    negotiation instead of recomputed per node. The caches never change
+    results — only who pays for them. ``_reward_cache`` and
+    ``_step_cache`` belong to the formulation heuristic
+    (:mod:`repro.core.formulation`), which owns their key layout. All
+    caches are invalidated together if ``request`` is swapped out (the
+    next :meth:`ladder` call detects it); swapping ``demand_model`` on a
+    live task is not supported — construct a new ``Task`` instead.
     """
 
     task_id: str
@@ -45,6 +57,18 @@ class Task:
     input_kb: float = 10.0
     output_kb: float = 10.0
     duration: float = 10.0
+    _ladder_cache: Dict[int, DegradationLadder] = field(
+        default_factory=dict, init=False, repr=False, compare=False,
+    )
+    _demand_cache: Dict[Tuple, Capacity] = field(
+        default_factory=dict, init=False, repr=False, compare=False,
+    )
+    _reward_cache: Dict[Tuple, float] = field(
+        default_factory=dict, init=False, repr=False, compare=False,
+    )
+    _step_cache: Dict[Tuple, object] = field(
+        default_factory=dict, init=False, repr=False, compare=False,
+    )
 
     @classmethod
     def fresh_id(cls, prefix: str = "task") -> str:
@@ -52,12 +76,33 @@ class Task:
         return f"{prefix}-{_task_seq.next()}"
 
     def ladder(self, float_steps: int = 8) -> DegradationLadder:
-        """The degradation ladder of this task's request."""
-        return DegradationLadder.from_request(self.request, float_steps)
+        """The degradation ladder of this task's request (memoized)."""
+        cached = self._ladder_cache.get(float_steps)
+        if cached is not None and cached.request is self.request:
+            return cached
+        if any(l.request is not self.request for l in self._ladder_cache.values()):
+            # request swapped out: every derived cache is stale
+            self._ladder_cache.clear()
+            self._demand_cache.clear()
+            self._reward_cache.clear()
+            self._step_cache.clear()
+        cached = DegradationLadder.from_request(self.request, float_steps)
+        self._ladder_cache[float_steps] = cached
+        return cached
 
     def demand_at(self, values: Mapping[str, Any]) -> Capacity:
-        """Resource demand of serving this task at quality ``values``."""
-        return self.demand_model.demand(values)
+        """Resource demand of serving this task at quality ``values``.
+
+        Memoized per exact quality level (type-sensitive on the values,
+        so ``1`` and ``1.0`` cannot alias); :class:`Capacity` vectors are
+        immutable, so sharing the cached instance is safe.
+        """
+        key = tuple((k, v.__class__, v) for k, v in sorted(values.items()))
+        cached = self._demand_cache.get(key)
+        if cached is None:
+            cached = self.demand_model.demand(values)
+            self._demand_cache[key] = cached
+        return cached
 
     def transfer_kb(self) -> float:
         """Total data moved when the task executes remotely."""

@@ -146,13 +146,55 @@ def test_award_falls_through_when_headroom_taken():
 
 
 def test_message_count_accounting(small_cluster, movie_service):
+    """Radio messages only, counted like the agent-based protocol: CFP
+    copies to remote candidates, one bundled PROPOSE per responding
+    remote node, one award message per remote award. The requester's
+    own copy/proposals/awards are local and cost nothing."""
     topology, providers, nodes = small_cluster
     outcome = negotiate(movie_service, topology, providers, commit=False)
-    # 4 CFP copies + proposals + 2 awards.
-    assert outcome.message_count == (
-        len(outcome.candidates) + outcome.proposals_received
-        + len(outcome.coalition.awards)
+    remote_candidates = [c for c in outcome.candidates if c != "requester"]
+    remote_responders = [
+        c for c in remote_candidates
+        if formulate_node_proposals(providers[c], movie_service.tasks)
+    ]
+    remote_awards = sum(
+        1 for a in outcome.coalition.awards.values() if a.node_id != "requester"
     )
+    assert outcome.message_count == (
+        len(remote_candidates) + len(remote_responders) + remote_awards
+    )
+
+
+def test_message_count_skips_provider_less_candidates(small_cluster, movie_service):
+    """Audience ids with no provider entry are skipped in step 2, so no
+    broadcast copy may be counted for them either."""
+    topology, providers, nodes = small_cluster
+    baseline = negotiate(movie_service, topology, providers, commit=False)
+    with_ghosts = negotiate(
+        movie_service, topology, providers, commit=False,
+        candidates=list(baseline.candidates) + ["ghost-1", "ghost-2"],
+    )
+    assert with_ghosts.message_count == baseline.message_count
+    assert with_ghosts.proposals_received == baseline.proposals_received
+
+
+def test_dead_requester_has_no_audience(small_cluster, movie_service):
+    """A dead requester cannot broadcast a CFP: empty audience, every
+    task unallocated, zero messages — even while the topology still
+    holds its (stale) neighbor list."""
+    topology, providers, nodes = small_cluster
+    topology.node("requester").fail()
+    assert candidate_nodes(movie_service, topology) == ()
+    assert candidate_nodes(movie_service, topology, max_hops=3) == ()
+    outcome = negotiate(movie_service, topology, providers, commit=False)
+    assert not outcome.success
+    assert outcome.candidates == ()
+    assert sorted(outcome.unallocated) == sorted(
+        t.task_id for t in movie_service.tasks
+    )
+    assert outcome.message_count == 0
+    assert outcome.proposals_received == 0
+    assert outcome.coalition.size == 0
 
 
 def test_explicit_candidates_override(small_cluster, movie_service):

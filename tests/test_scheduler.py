@@ -156,7 +156,10 @@ def test_scheduler_fails_fast_cancelling_pending_units():
     def boom(seed: int) -> dict:
         if seed == 1:
             raise RuntimeError("early boom")
-        time.sleep(0.05)
+        # Long enough that 4 workers cannot drain the whole queue before
+        # the parent reacts to the failure, even on a loaded CI box —
+        # the cancel path is what makes the test finish fast.
+        time.sleep(0.25)
         return {"x": float(seed)}
 
     table = Table("toy", ["point", "x"])

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Profile the negotiation hot path (E4's scenario at a chosen scale).
+
+Runs the agent-based movie-playback negotiation (the E4/E18 scenario)
+at one or more node counts, reports wall time per run plus a per-phase
+breakdown aggregated from cProfile data, and optionally writes a JSON
+summary (uploaded as a CI artifact by the smoke job)::
+
+    PYTHONPATH=src python tools/profile_negotiation.py
+    PYTHONPATH=src python tools/profile_negotiation.py --nodes 64,128 --seeds 5
+    PYTHONPATH=src python tools/profile_negotiation.py --top 25 --out prof.json
+
+Phases are attributed by module/function (cumulative time):
+
+* **formulation** — the Section 5 degrade loop every provider runs per
+  CFP (``repro.core.formulation``), including demand probing;
+* **evaluation** — eq. 2–5 proposal scoring + winner selection
+  (``repro.core.evaluation`` / ``repro.core.selection``);
+* **network** — message transmission, routing and delivery
+  (``repro.network``);
+* **setup** — fleet/topology/agent construction
+  (``repro.experiments.scenario`` + topology rebuilds).
+
+Cumulative percentages can overlap (phases nest inside the engine loop)
+— read them as "share of profiled time spent under this subsystem", not
+as a partition. The full optimization story lives in
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Phase name -> path fragments whose cumulative time it aggregates.
+PHASES = {
+    "formulation": ("repro/core/formulation.py",),
+    "evaluation": ("repro/core/evaluation.py", "repro/core/selection.py"),
+    "network": ("repro/network/",),
+    "setup": ("repro/experiments/scenario.py",),
+}
+
+def run_once(n_nodes: int, seed: int) -> float:
+    """One E4-scenario negotiation; returns the wall time in seconds."""
+    from repro.experiments.config import ClusterConfig
+    from repro.experiments.scenario import build_agent_system
+    from repro.services import workload
+
+    start = time.perf_counter()
+    system = build_agent_system(
+        ClusterConfig(n_nodes=n_nodes, area=100.0), seed, reliable_channel=True
+    )
+    service = workload.movie_playback_service(requester="requester")
+    outcome = system.negotiate(service)
+    elapsed = time.perf_counter() - start
+    if outcome is None:
+        raise RuntimeError(f"negotiation returned no outcome (n={n_nodes}, seed={seed})")
+    return elapsed
+
+
+def phase_breakdown(stats: pstats.Stats) -> Dict[str, float]:
+    """Per-phase cumulative seconds, from the profile's per-function rows.
+
+    For each phase the *maximum* cumtime among its matching functions is
+    used: the top-level entry point of a subsystem dominates its callees'
+    cumtimes, so the max approximates "time under this subsystem" without
+    double-counting nested frames.
+    """
+    best: Dict[str, float] = {name: 0.0 for name in PHASES}
+    for (filename, _lineno, _fn), (_cc, _nc, _tt, ct, _callers) in stats.stats.items():
+        path = filename.replace("\\", "/")
+        for phase, fragments in PHASES.items():
+            if any(fragment in path for fragment in fragments):
+                best[phase] = max(best[phase], ct)
+    return best
+
+
+def profile_scale(n_nodes: int, seeds: List[int], top: int) -> Dict[str, Any]:
+    """Wall times + profile summary for one node count."""
+    walls = [run_once(n_nodes, seed) for seed in seeds]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for seed in seeds:
+        run_once(n_nodes, seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    total = stats.total_tt
+    phases = phase_breakdown(stats)
+
+    print(f"\n== {n_nodes} nodes ({len(seeds)} seed(s)) ==")
+    print(f"  wall time per negotiation: mean {sum(walls) / len(walls) * 1e3:.1f} ms "
+          f"(min {min(walls) * 1e3:.1f}, max {max(walls) * 1e3:.1f})")
+    print(f"  profiled time: {total:.3f} s; per-phase share (cumulative, may overlap):")
+    for phase, seconds in phases.items():
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        print(f"    {phase:>12}: {seconds:7.3f} s  ({share:5.1f} %)")
+    if top > 0:
+        print(f"  top {top} functions by internal time:")
+        stats.sort_stats("tottime")
+        rows = stats.get_stats_profile().func_profiles
+        shown = sorted(rows.items(), key=lambda kv: -kv[1].tottime)[:top]
+        for name, row in shown:
+            print(f"    {row.tottime:8.3f}s  {row.ncalls:>10}  {name}")
+    return {
+        "nodes": n_nodes,
+        "seeds": seeds,
+        "wall_s": walls,
+        "wall_mean_s": sum(walls) / len(walls),
+        "profiled_total_s": total,
+        "phases_cumulative_s": phases,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/profile_negotiation.py",
+        description="Profile the E4-scenario negotiation hot path; print a "
+                    "per-phase wall-time breakdown per node count.",
+    )
+    parser.add_argument(
+        "--nodes", default="64", metavar="N[,N...]",
+        help="comma-separated node counts to profile (default 64)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="K",
+        help="replications (seeds 1..K) per node count (default 3)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="ROWS",
+        help="rows of the per-function profile table to print (default "
+             "10; 0 disables it)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the run summary as JSON (for CI artifacts)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        node_counts = [int(tok) for tok in args.nodes.split(",") if tok.strip()]
+    except ValueError:
+        print(f"--nodes must be comma-separated integers, got {args.nodes!r}",
+              file=sys.stderr)
+        return 2
+    if not node_counts or any(n < 2 for n in node_counts):
+        print("--nodes needs at least one count >= 2", file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+
+    seeds = list(range(1, args.seeds + 1))
+    summary = [profile_scale(n, seeds, args.top) for n in node_counts]
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"\nsummary written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
