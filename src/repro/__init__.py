@@ -16,7 +16,7 @@ coalition-formation system for wireless ad-hoc networks:
   baseline allocators;
 * **Agents** (:mod:`repro.agents`): the protocol as asynchronous message
   passing;
-* **Experiments** (:mod:`repro.experiments`): the E1–E17 evaluation
+* **Experiments** (:mod:`repro.experiments`): the E1–E19 evaluation
   suite.
 
 Quickstart::

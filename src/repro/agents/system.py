@@ -68,8 +68,12 @@ class AgentSystem:
             if mobility is not None
             else StaticPlacement(120.0, 120.0, self.engine.rng.stream("placement"))
         )
-        self.mobility.place(list(self.nodes.values()))
-        self.topology = Topology(list(self.nodes.values()), self.radio)
+        # Membership is fixed for the system's lifetime: reuse one node
+        # list for placement and every mobility tick instead of
+        # re-materializing it per tick.
+        self._node_list = list(self.nodes.values())
+        self.mobility.place(self._node_list)
+        self.topology = Topology(self._node_list, self.radio)
         self.channel = ChannelModel(
             self.topology,
             self.engine.rng.stream("channel"),
@@ -151,8 +155,11 @@ class AgentSystem:
         return result[0] if result else None
 
     def step_mobility(self, dt: float) -> None:
-        """Advance node positions by ``dt`` and rebuild the topology."""
-        self.mobility.advance(list(self.nodes.values()), dt)
+        """Advance node positions by ``dt`` and rebuild the topology.
+
+        The rebuild advances the topology's cache epoch, so any cached
+        neighborhoods/routes from before the move are dropped."""
+        self.mobility.advance(self._node_list, dt)
         self.topology.rebuild()
 
     def start_mobility_process(self, tick: float = 1.0, until: float = float("inf")) -> None:

@@ -371,16 +371,28 @@ def negotiate(
     proposals_received = sum(len(v) for v in by_task.values())
     ledger = _Ledger(providers) if not commit else None
 
+    # The synchronous driver never advances the engine, so the topology
+    # cannot change mid-run: memoize the per-node cost on top of the
+    # topology's own per-epoch route cache (scoring consults it once per
+    # proposal, and popular providers propose for every task).
+    comm_cache: Dict[str, float] = {}
+
     def comm_cost(node_id: str) -> float:
+        cached = comm_cache.get(node_id)
+        if cached is not None:
+            return cached
         try:
             if max_hops > 1:
-                return topology.multihop_cost(service.requester, node_id)
-            return topology.communication_cost(service.requester, node_id)
+                cost = topology.multihop_cost(service.requester, node_id)
+            else:
+                cost = topology.communication_cost(service.requester, node_id)
         except NotConnectedError:
             # No direct link: the offer is unreachable, not erroneous.
             # Anything else (unknown node ids, ...) is a caller bug and
             # propagates instead of masquerading as "unreachable".
-            return float("inf")
+            cost = float("inf")
+        comm_cache[node_id] = cost
+        return cost
 
     # Step 3 + 4: evaluate, select, award with admission re-check.
     # Evaluators compile per *request*, not per task: tasks sharing a

@@ -192,6 +192,9 @@ def run_operation_phase(
             node = topology.node(node_id)
             if not node.alive:
                 return
+            # fail() flips liveness (bumping the topology's cache epoch
+            # via the liveness watcher); the rebuild then drops the dead
+            # node's radio links from the adjacency itself.
             node.fail()
             topology.rebuild()
             orphans = [tid for tid, a in running.items() if a.node_id == node_id]

@@ -1,6 +1,6 @@
 """The experiment suites (the paper’s missing evaluation section).
 
-E1–E14 and the E18 scale sweep live in this module; the
+E1–E14 and the E18/E19 scale sweeps live in this module; the
 scenario-generation suites E15–E17
 (:mod:`repro.experiments.workload_suites`, built on
 :mod:`repro.workloads`) are imported and registered at the bottom so
@@ -50,7 +50,7 @@ from repro.experiments.scenario import (
     uniform_fleet,
 )
 from repro.metrics.utility import assignment_utility, outcome_utility
-from repro.network.mobility import RandomWaypoint
+from repro.network.mobility import GroupMobility, RandomWaypoint
 from repro.network.radio import DiscRadio
 from repro.network.topology import Topology
 from repro.qos import catalog
@@ -1075,6 +1075,102 @@ def e18_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
     return SuitePlan("E18", table, _agent_protocol_points(sizes))
 
 
+# ==========================================================================
+# E19 — mobility at scale: the vectorized network layer under churn
+# ==========================================================================
+
+
+def e19_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Perf trajectory (ROADMAP: as fast as the hardware allows): E5's
+    mobility scenario pushed to large fleets, swept over node count ×
+    mobility model, with relayed two-hop CFPs.
+
+    Every simulated second the whole fleet moves and the topology is
+    rebuilt — the dense pairwise-recompute workload the numpy arena
+    vectorizes — and every CFP prices its candidates over best multi-hop
+    routes, hitting the per-epoch route cache. Metrics are deterministic
+    (bit-identical serial vs parallel); wall time lives in
+    ``BENCH_E19.json`` and CI gates the quick sweep serial-vs-parallel
+    with ``tools/bench_diff.py --rtol 0`` like E18. The ≥5× topology
+    maintenance gate at 128 nodes is asserted directly by
+    ``benchmarks/test_e19_mobility_scale.py``.
+    """
+    combos = (
+        [("waypoint", 16), ("waypoint", 32)] if sweep.quick
+        else [
+            ("waypoint", 32), ("waypoint", 64), ("waypoint", 128),
+            ("group", 32), ("group", 64), ("group", 128),
+        ]
+    )
+    table = Table(
+        "E19 — mobility at scale (random waypoint / group mobility, 2-hop CFPs)",
+        ["model × nodes", "success rate", "mean utility", "mean candidates",
+         "distinct partners", "messages lost"],
+        caption="Sequential movie requests 20 s apart, mobility ticking at "
+                "1 s (a full topology rebuild per tick), CFPs relayed two "
+                "hops with route-cost tie-breaks over the epoch-cached "
+                "multi-hop routes. Area grows with sqrt(nodes) so density "
+                "stays comparable across scales.",
+    )
+    n_requests = 2 if sweep.quick else 3
+    points = []
+    for model_name, n_nodes in combos:
+        def run(seed: int, model_name=model_name, n_nodes=n_nodes) -> Dict[str, float]:
+            registry = RngRegistry(seed)
+            area = 60.0 * float(np.sqrt(n_nodes))
+            if model_name == "waypoint":
+                mobility = RandomWaypoint(
+                    width=area, height=area,
+                    speed_min=0.0, speed_max=6.0, pause=1.0,
+                    rng=registry.stream("mobility"),
+                )
+            else:
+                leader = RandomWaypoint(
+                    width=area, height=area,
+                    speed_min=1.0, speed_max=4.0, pause=0.0,
+                    rng=registry.stream("leader"),
+                )
+                mobility = GroupMobility(
+                    leader, spread=min(140.0, area / 2.0),
+                    rng=registry.stream("mobility"),
+                )
+            config = ClusterConfig(n_nodes=n_nodes, area=area)
+            system = build_agent_system(
+                config, seed, mobility=mobility, max_hops=2
+            )
+            system.start_mobility_process(tick=1.0, until=n_requests * 25.0)
+            outcomes = []
+            partners: set = set()
+            for r in range(n_requests):
+                service = workload.movie_playback_service(
+                    requester="requester", name=f"movie-{r}"
+                )
+                outcome = system.negotiate(service)
+                if outcome is not None:
+                    outcomes.append(outcome)
+                    partners |= set(outcome.coalition.members)
+                    release_coalition(outcome.coalition, system.providers,
+                                      system.engine.now)
+                system.engine.run(until=system.engine.now + 20.0)
+            if not outcomes:
+                return {"success": 0.0, "utility": 0.0, "candidates": 0.0,
+                        "partners": 0.0,
+                        "lost": float(system.network.lost_count)}
+            return {
+                "success": float(np.mean([o.success for o in outcomes])),
+                "utility": float(np.mean([outcome_utility(o) for o in outcomes])),
+                "candidates": float(np.mean([len(o.candidates) for o in outcomes])),
+                "partners": float(len(partners)),
+                "lost": float(system.network.lost_count),
+            }
+
+        points.append(SweepPoint(
+            label=f"{model_name}-{n_nodes}", run=run,
+            keys=("success", "utility", "candidates", "partners", "lost"),
+        ))
+    return SuitePlan("E19", table, points)
+
+
 #: Plan builders, keyed by experiment id — what the shared work-queue
 #: scheduler (:func:`repro.experiments.parallel.run_batch`) consumes.
 SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
@@ -1096,6 +1192,7 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E16": e16_plan,
     "E17": e17_plan,
     "E18": e18_plan,
+    "E19": e19_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1117,6 +1214,7 @@ e15_contention = _table_suite(e15_plan, "e15_contention")
 e16_saturation = _table_suite(e16_plan, "e16_saturation")
 e17_new_services = _table_suite(e17_plan, "e17_new_services")
 e18_scale_sweep = _table_suite(e18_plan, "e18_scale_sweep")
+e19_mobility_scale = _table_suite(e19_plan, "e19_mobility_scale")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1138,4 +1236,5 @@ ALL_SUITES = {
     "E16": e16_saturation,
     "E17": e17_new_services,
     "E18": e18_scale_sweep,
+    "E19": e19_mobility_scale,
 }

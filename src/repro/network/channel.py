@@ -52,13 +52,13 @@ class ChannelModel:
         """
         if src == dst:
             return 0.0
-        if not self.topology.connected(src, dst):
+        quality = self.topology.edge_quality(src, dst)
+        if quality is None:
             return None
+        bandwidth, loss = quality  # kb/s, probability
         if not self.reliable:
-            loss = self.topology.link_loss(src, dst)
             if loss > 0.0 and self.rng.random() < loss:
                 return None
-        bandwidth = self.topology.link_bandwidth(src, dst)  # kb/s
         tx_time = (size_kb / bandwidth) if bandwidth > 0 else float("inf")
         extra = float(self.rng.uniform(0.0, self.jitter)) if self.jitter > 0 else 0.0
         return self.propagation_delay + tx_time + extra

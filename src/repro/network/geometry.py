@@ -1,9 +1,23 @@
-"""2-D geometry primitives for the network plane."""
+"""2-D geometry primitives for the network plane.
+
+Scalar helpers (:func:`distance`, :func:`lerp`, ...) operate on
+``(x, y)`` tuples; the vectorized counterparts
+(:func:`position_array`, :func:`pairwise_distances`,
+:func:`exact_distances`) operate on numpy arrays and are the foundation
+of the vectorized topology arena. The vectorized distances are
+**bit-identical** to the scalar ones: ``math.hypot`` is the single
+source of truth, and the numpy paths either call it per element (via a
+tight ``map``) or only approximate distances that are provably beyond
+any threshold a caller compares against (see
+:func:`pairwise_distances`).
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 Point = Tuple[float, float]
 """A 2-D position in meters."""
@@ -12,6 +26,76 @@ Point = Tuple[float, float]
 def distance(a: Point, b: Point) -> float:
     """Euclidean distance between two points."""
     return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def position_array(positions: Sequence[Point]) -> np.ndarray:
+    """Pack points into a contiguous ``(n, 2)`` float64 arena."""
+    if not positions:
+        return np.empty((0, 2), dtype=np.float64)
+    return np.asarray(positions, dtype=np.float64).reshape(len(positions), 2)
+
+
+#: Relative slack applied to ``exact_within`` when deciding which pairs
+#: get the exact ``math.hypot`` treatment. ``sqrt(dx*dx + dy*dy)`` is
+#: within ~2 ulp (relative error < 1e-15) of the true distance, so a
+#: 1e-9 margin is sound by more than six orders of magnitude.
+_APPROX_MARGIN = 1e-9
+
+
+def exact_distances(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.hypot`` over coordinate-difference arrays.
+
+    ``np.hypot`` differs from ``math.hypot`` in the last ulp for a small
+    fraction of inputs, which would break the topology layer's
+    bit-identity guarantee — so the exact values come from a tight
+    ``map`` over the C-implemented ``math.hypot``.
+    """
+    flat = np.fromiter(
+        map(math.hypot, dx.ravel().tolist(), dy.ravel().tolist()),
+        dtype=np.float64,
+        count=dx.size,
+    )
+    return flat.reshape(dx.shape)
+
+
+def pairwise_distances(
+    positions: np.ndarray, exact_within: Optional[float] = None
+) -> np.ndarray:
+    """All-pairs distance matrix for an ``(n, 2)`` position arena.
+
+    Entries are bit-identical to :func:`distance` (``math.hypot``)
+    wherever they could matter to a threshold comparison:
+
+    * ``exact_within is None`` — every entry is exact;
+    * otherwise entries whose approximate value is at most
+      ``exact_within * (1 + 1e-9)`` are exact, and the remaining entries
+      are within 2 ulp of the true distance — strictly greater than
+      ``exact_within``, so any ``<= exact_within`` test still decides
+      identically to the scalar path.
+
+    The approximation pass is pure broadcasting; the exact pass calls
+    ``math.hypot`` only for the (few) candidate pairs, so the cost is
+    O(n^2) numpy plus O(edges) C calls instead of O(n^2) Python.
+    """
+    n = positions.shape[0]
+    dx = positions[:, 0, None] - positions[None, :, 0]
+    dy = positions[:, 1, None] - positions[None, :, 1]
+    approx = np.sqrt(dx * dx + dy * dy)
+    if n < 2:
+        return approx
+    if exact_within is None:
+        need = np.ones((n, n), dtype=bool)
+    else:
+        need = approx <= exact_within * (1.0 + _APPROX_MARGIN)
+    # Exact values are symmetric; compute the strict upper triangle once
+    # and mirror it (the diagonal is exactly 0.0 already).
+    need &= np.triu(np.ones((n, n), dtype=bool), k=1)
+    ii, jj = np.nonzero(need)
+    if ii.size:
+        exact = exact_distances(dx[ii, jj], dy[ii, jj])
+        approx[ii, jj] = exact
+        approx[jj, ii] = exact
+    return approx
 
 
 def clamp_to_area(p: Point, width: float, height: float) -> Point:

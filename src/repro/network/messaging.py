@@ -110,11 +110,14 @@ class NetworkService:
         """Unicast over the best multi-hop route (relayed extension).
 
         The route is source-computed at send time (abstracting an ad-hoc
-        routing protocol such as DSR); each hop independently suffers the
-        link's loss and latency, so end-to-end delivery probability is
-        the product of the per-hop survival rates and latency is the sum
-        of per-hop latencies. Falls back to plain :meth:`send` for
-        direct links. Counts one radio transmission per hop.
+        routing protocol such as DSR) and served by the topology's
+        per-epoch route cache — repeated sends between the same pair in
+        an unchanged topology pay no search. Each hop independently
+        suffers the link's loss and latency, so end-to-end delivery
+        probability is the product of the per-hop survival rates and
+        latency is the sum of per-hop latencies. Falls back to plain
+        :meth:`send` for direct links. Counts one radio transmission per
+        hop.
         """
         if sender == recipient:
             return self.send(sender, recipient, kind, payload, size_kb)

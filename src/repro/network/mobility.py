@@ -15,11 +15,20 @@ changes over time. Three models are provided:
 
 All models are deterministic given the engine's RNG streams and advance in
 discrete steps of ``tick`` simulated seconds.
+
+The hot advance/scatter geometry is vectorized over a position arena
+while RNG values are drawn in the exact per-node order of the original
+scalar walks, so traces stay **seed-identical**: random waypoint moves
+all mid-leg nodes (no RNG needed) with numpy broadcasting and replays
+the scalar state machine only for nodes that arrive, pause or start a
+leg; group mobility draws the whole member jitter batch from the stream
+in one call (bitwise-equal to the sequential scalar draws).
 """
 
 from __future__ import annotations
 
 import abc
+import math
 from typing import Dict, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -136,8 +145,53 @@ class RandomWaypoint(MobilityModel):
     def advance(self, nodes: Sequence[Node], dt: float) -> None:
         if self.speed_max <= 0.0:
             return
-        for node in nodes:
-            state = self._state.get(node.node_id)
+        # Split the fleet: nodes that stay mid-leg for the whole step need
+        # no RNG and move by pure geometry (vectorized below); nodes that
+        # pause, arrive, or have no leg yet replay the original scalar
+        # walk in node order, so the RNG draw sequence is unchanged.
+        states = [self._state.get(node.node_id) for node in nodes]
+        slow = [True] * len(nodes)
+        if dt > 1e-12:
+            maybe = [
+                i for i, s in enumerate(states)
+                if s is not None and s[2] == 0.0
+            ]
+            if maybe:
+                pos = np.array([nodes[i].position for i in maybe], dtype=np.float64)
+                dest = np.array([states[i][0] for i in maybe], dtype=np.float64)
+                speed = np.array([states[i][1] for i in maybe], dtype=np.float64)
+                # Exact per-node gap (math.hypot) so the arrive-vs-travel
+                # branch decides identically to the scalar walk.
+                gap = np.fromiter(
+                    map(
+                        math.hypot,
+                        (pos[:, 0] - dest[:, 0]).tolist(),
+                        (pos[:, 1] - dest[:, 1]).tolist(),
+                    ),
+                    dtype=np.float64, count=len(maybe),
+                )
+                with np.errstate(divide="ignore"):
+                    travel_time = np.where(speed > 0, gap / speed, np.inf)
+                moving = travel_time > dt
+                if moving.any():
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        t = (speed * dt) / gap
+                    new_x = pos[:, 0] + (dest[:, 0] - pos[:, 0]) * t
+                    new_y = pos[:, 1] + (dest[:, 1] - pos[:, 1]) * t
+                    new_x = np.minimum(np.maximum(new_x, 0.0), self.width)
+                    new_y = np.minimum(np.maximum(new_y, 0.0), self.height)
+                    xs = new_x.tolist()
+                    ys = new_y.tolist()
+                    for k, i in enumerate(maybe):
+                        if moving[k]:
+                            slow[i] = False
+                            nodes[i].move_to(xs[k], ys[k])
+                            # dest/speed/pausing are unchanged mid-leg.
+                            self._state[nodes[i].node_id] = states[i]
+        for i, node in enumerate(nodes):
+            if not slow[i]:
+                continue
+            state = states[i]
             if state is None:
                 state = self._new_leg(node)
             remaining = dt
@@ -195,16 +249,19 @@ class GroupMobility(MobilityModel):
 
     def _scatter(self, nodes: Sequence[Node]) -> None:
         cx, cy = self._leader.position
-        for node in nodes:
-            angle = float(self.rng.uniform(0, 2 * np.pi))
-            radius = float(self.rng.uniform(0, self.spread))
-            node.move_to(
-                *clamp_to_area(
-                    (cx + radius * np.cos(angle), cy + radius * np.sin(angle)),
-                    self.leader_model.width,
-                    self.leader_model.height,
-                )
-            )
+        # One batched draw replaces the per-node (angle, radius) pairs:
+        # ``uniform(0, high)`` is ``high * next_double``, so consuming the
+        # same stream positions yields bitwise-identical offsets to the
+        # scalar loop this replaces.
+        u = self.rng.random(2 * len(nodes))
+        angles = (2 * np.pi) * u[0::2]
+        radii = self.spread * u[1::2]
+        xs = cx + radii * np.cos(angles)
+        ys = cy + radii * np.sin(angles)
+        xs = np.minimum(np.maximum(xs, 0.0), self.leader_model.width)
+        ys = np.minimum(np.maximum(ys, 0.0), self.leader_model.height)
+        for node, x, y in zip(nodes, xs.tolist(), ys.tolist()):
+            node.move_to(x, y)
 
     def place(self, nodes: Sequence[Node]) -> None:
         self.leader_model.place([self._leader])

@@ -14,12 +14,31 @@ negotiation layer observes about the PHY.
 from __future__ import annotations
 
 import abc
+from typing import Optional
+
+import numpy as np
 
 from repro.network.geometry import Point, distance
 
 
 class RadioModel(abc.ABC):
-    """Predicts link existence and quality from node positions."""
+    """Predicts link existence and quality from node positions.
+
+    Radio models are *isotropic*: link existence and quality are pure
+    functions of the sender–receiver distance. That contract is what
+    lets the topology arena evaluate a model over a whole pairwise
+    distance matrix at once — the ``*_matrix`` methods below take exact
+    distances (see :func:`repro.network.geometry.pairwise_distances`)
+    and must agree elementwise, bit for bit, with their scalar
+    counterparts. The base-class implementations guarantee that by
+    looping the scalar methods over synthetic collinear positions;
+    concrete models override them with numpy broadcasting.
+    """
+
+    #: Distance beyond which the matrix results are constants (out of
+    #: range), so the distance matrix may be approximate past it.
+    #: ``None`` means every entry must be exact.
+    matrix_distance_cutoff: Optional[float] = None
 
     @abc.abstractmethod
     def in_range(self, a: Point, b: Point) -> bool:
@@ -32,6 +51,37 @@ class RadioModel(abc.ABC):
     @abc.abstractmethod
     def loss_probability(self, a: Point, b: Point) -> float:
         """Per-message loss probability in [0, 1] (1.0 when out of range)."""
+
+    # -- vectorized counterparts --------------------------------------------
+    #
+    # ``dist`` holds exact pairwise distances (``math.hypot``); a pair at
+    # distance d and the positions (0, 0)-(d, 0) are indistinguishable to
+    # an isotropic model, so the fallbacks below are bit-identical to the
+    # scalar methods by construction.
+
+    def in_range_matrix(self, dist: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`in_range` over a distance array."""
+        origin = (0.0, 0.0)
+        return np.fromiter(
+            (self.in_range(origin, (d, 0.0)) for d in dist.ravel().tolist()),
+            dtype=bool, count=dist.size,
+        ).reshape(dist.shape)
+
+    def bandwidth_matrix(self, dist: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`bandwidth` over a distance array."""
+        origin = (0.0, 0.0)
+        return np.fromiter(
+            (self.bandwidth(origin, (d, 0.0)) for d in dist.ravel().tolist()),
+            dtype=np.float64, count=dist.size,
+        ).reshape(dist.shape)
+
+    def loss_matrix(self, dist: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`loss_probability` over a distance array."""
+        origin = (0.0, 0.0)
+        return np.fromiter(
+            (self.loss_probability(origin, (d, 0.0)) for d in dist.ravel().tolist()),
+            dtype=np.float64, count=dist.size,
+        ).reshape(dist.shape)
 
 
 class DiscRadio(RadioModel):
@@ -66,6 +116,11 @@ class DiscRadio(RadioModel):
         self.base_loss = float(base_loss)
         self.edge_loss = float(edge_loss)
 
+    @property
+    def matrix_distance_cutoff(self) -> float:  # type: ignore[override]
+        """Beyond the radio range every matrix entry is a constant."""
+        return self.range_m
+
     def in_range(self, a: Point, b: Point) -> bool:
         return distance(a, b) <= self.range_m
 
@@ -87,3 +142,33 @@ class DiscRadio(RadioModel):
             return 1.0
         frac = d / self.range_m
         return self.base_loss + frac * (self.edge_loss - self.base_loss)
+
+    # -- vectorized counterparts --------------------------------------------
+    #
+    # Same IEEE double operations as the scalar methods, applied
+    # elementwise — bit-identical wherever ``dist`` is exact (pinned by
+    # ``tests/test_topology_vector.py``).
+
+    def in_range_matrix(self, dist: np.ndarray) -> np.ndarray:
+        return dist <= self.range_m
+
+    def bandwidth_matrix(self, dist: np.ndarray) -> np.ndarray:
+        bw = np.zeros(dist.shape, dtype=np.float64)
+        in_r = dist <= self.range_m
+        half = self.range_m / 2.0
+        near = in_r & (dist <= half)
+        bw[near] = self.nominal_bandwidth
+        far = in_r & ~near
+        if far.any():
+            frac = (dist[far] - half) / half
+            factor = 1.0 - frac * (1.0 - self.min_rate_fraction)
+            bw[far] = self.nominal_bandwidth * factor
+        return bw
+
+    def loss_matrix(self, dist: np.ndarray) -> np.ndarray:
+        loss = np.ones(dist.shape, dtype=np.float64)
+        in_r = dist <= self.range_m
+        if in_r.any():
+            frac = dist[in_r] / self.range_m
+            loss[in_r] = self.base_loss + frac * (self.edge_loss - self.base_loss)
+        return loss

@@ -1,21 +1,60 @@
 """Dynamic connectivity graph and neighbor discovery.
 
-:class:`Topology` maintains a :mod:`networkx` graph over the live nodes,
+:class:`Topology` maintains the connectivity graph over the live nodes,
 rebuilt from positions and the radio model. The negotiation layer asks it
 two questions: *who are the requester's neighbors right now* (candidate
 coalition members — the paper's "nodes in range") and *what does it cost to
 talk to them* (link bandwidth → communication-cost tie-break).
+
+Two implementations coexist, selected by :data:`USE_VECTOR_TOPOLOGY`:
+
+* the **vectorized arena** (default): :meth:`Topology.rebuild` packs the
+  live nodes' positions into a contiguous numpy arena, computes the full
+  pairwise distance matrix by broadcasting
+  (:func:`repro.network.geometry.pairwise_distances`, bit-exact where it
+  matters), and evaluates the radio model's ``*_matrix`` methods over it.
+  Adjacency and edge attributes (bandwidth / loss) live in numpy arrays;
+  the :mod:`networkx` graph is materialized lazily, only when an analysis
+  helper or external caller asks for :attr:`Topology.graph`. Every
+  membership or connectivity change bumps an **epoch counter**, which
+  keys per-epoch caches for neighbor tuples, BFS orders
+  (:meth:`khop_neighbors`) and weighted shortest routes
+  (:meth:`shortest_route` / :meth:`multihop_cost`) — repeated queries
+  within an epoch are O(1) dictionary hits, which is what the messaging
+  layer's routed delivery and the organizer's comm-cost tie-breaks hit
+  on every CFP;
+* the **legacy networkx path** (``USE_VECTOR_TOPOLOGY = False``): the
+  original per-pair Python rebuild and per-query networkx searches, kept
+  so equivalence tests can assert both paths agree bit for bit
+  (``tests/test_topology_vector.py``), exactly like
+  ``negotiation.USE_BATCH_EVALUATION``.
+
+Both paths produce identical observable results — same neighbor order
+(networkx adjacency order is the alive-list insertion order), same
+shortest routes (the vector path replays networkx's
+``bidirectional_dijkstra`` tie-breaking over precomputed edge costs), and
+bit-identical link qualities.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import NotConnectedError, UnknownNodeError
+from repro.network.geometry import pairwise_distances, position_array
 from repro.network.radio import RadioModel
 from repro.resources.node import Node
+
+#: Feature switch for the vectorized topology arena. The networkx-backed
+#: scalar path is kept so tests can assert both implementations produce
+#: bit-identical results (``tests/test_topology_vector.py``); leave this
+#: ``True`` outside of those A/B comparisons. Read at construction time:
+#: each :class:`Topology` instance snapshots the flag in ``__init__``.
+USE_VECTOR_TOPOLOGY = True
 
 
 class Topology:
@@ -29,10 +68,50 @@ class Topology:
     def __init__(self, nodes: Sequence[Node], radio: RadioModel) -> None:
         self.radio = radio
         self._nodes: Dict[str, Node] = {}
-        self.graph = nx.Graph()
+        self._vectorized = bool(USE_VECTOR_TOPOLOGY)
+        self._epoch = 0
+        self._graph: Optional[nx.Graph] = None if self._vectorized else nx.Graph()
+        # -- arena state, valid after rebuild() (vector mode only) --------
+        self.positions = np.empty((0, 2), dtype=np.float64)
+        self._arena_ids: Tuple[str, ...] = ()
+        self._index: Dict[str, int] = {}
+        self._adj = np.zeros((0, 0), dtype=bool)
+        self._bw = np.zeros((0, 0), dtype=np.float64)
+        self._loss = np.zeros((0, 0), dtype=np.float64)
+        self._edge_count = 0
+        self._removed_since_rebuild = False
+        # -- per-epoch caches, built lazily on first query ----------------
+        self._cache_epoch = -1
+        self._nbrs: Dict[str, Tuple[str, ...]] = {}
+        # (node ids, id -> index, int-indexed weighted adjacency)
+        self._wadj: Optional[
+            Tuple[List[str], Dict[str, int], List[List[Tuple[int, float]]]]
+        ] = None
+        self._bfs: Dict[str, List[Tuple[str, int]]] = {}
+        self._routes: Dict[Tuple[str, str], Optional[Tuple[str, ...]]] = {}
+        self._route_costs: Dict[Tuple[str, str], float] = {}
         for node in nodes:
             self.add_node(node)
         self.rebuild()
+
+    # -- epochs ------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter bumped by every rebuild, membership change and
+        node liveness flip; per-epoch caches key off it."""
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+
+    def _on_liveness_change(self, node: Node) -> None:
+        """A registered node's ``alive`` flag flipped. Like the networkx
+        graph, the adjacency arrays intentionally keep the stale edges
+        until the next :meth:`rebuild` (radio links do not disappear
+        because software on the peer crashed) — but cached routes and
+        neighbor tuples are invalidated so nothing outlives the event."""
+        self._bump_epoch()
 
     # -- membership ------------------------------------------------------------
 
@@ -40,13 +119,25 @@ class Topology:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id!r}")
         self._nodes[node.node_id] = node
-        self.graph.add_node(node.node_id)
+        if self._vectorized:
+            node.add_liveness_watcher(self._on_liveness_change)
+            self._graph = None
+            self._bump_epoch()
+        else:
+            self._graph.add_node(node.node_id)
 
     def remove_node(self, node_id: str) -> None:
         if node_id not in self._nodes:
             raise UnknownNodeError(node_id)
-        del self._nodes[node_id]
-        self.graph.remove_node(node_id)
+        node = self._nodes.pop(node_id)
+        if self._vectorized:
+            node.remove_liveness_watcher(self._on_liveness_change)
+            if node_id in self._index:
+                self._removed_since_rebuild = True
+            self._graph = None
+            self._bump_epoch()
+        else:
+            self._graph.remove_node(node_id)
 
     def node(self, node_id: str) -> Node:
         try:
@@ -73,9 +164,43 @@ class Topology:
     def rebuild(self) -> None:
         """Recompute all edges from current positions and liveness.
 
-        O(n²) pairwise distances — fine for the node counts the paper's
-        setting implies (tens of devices in radio proximity).
+        Vector mode packs the live nodes into the position arena and
+        derives adjacency plus link-quality arrays from the broadcasted
+        pairwise distance matrix — O(n²) numpy work plus O(edges) exact
+        distance calls instead of O(n²) Python. Legacy mode runs the
+        original per-pair loop. Either way the epoch advances and every
+        cached neighbor/route answer is dropped.
         """
+        if not self._vectorized:
+            self._legacy_rebuild()
+            return
+        self._bump_epoch()
+        self._graph = None
+        self._removed_since_rebuild = False
+        alive = [n for n in self._nodes.values() if n.alive]
+        self._arena_ids = tuple(n.node_id for n in alive)
+        self._index = {nid: i for i, nid in enumerate(self._arena_ids)}
+        self.positions = position_array([n.position for n in alive])
+        m = len(alive)
+        if m < 2:
+            self._adj = np.zeros((m, m), dtype=bool)
+            self._bw = np.zeros((m, m), dtype=np.float64)
+            self._loss = np.ones((m, m), dtype=np.float64)
+            self._edge_count = 0
+            return
+        dist = pairwise_distances(
+            self.positions, exact_within=self.radio.matrix_distance_cutoff
+        )
+        adj = np.asarray(self.radio.in_range_matrix(dist), dtype=bool)
+        np.fill_diagonal(adj, False)
+        self._adj = adj
+        self._bw = np.asarray(self.radio.bandwidth_matrix(dist), dtype=np.float64)
+        self._loss = np.asarray(self.radio.loss_matrix(dist), dtype=np.float64)
+        self._edge_count = int(np.count_nonzero(adj)) // 2
+
+    def _legacy_rebuild(self) -> None:
+        """The original O(n²) pure-Python rebuild (A/B reference path)."""
+        self._bump_epoch()
         self.graph.remove_edges_from(list(self.graph.edges))
         alive = [n for n in self._nodes.values() if n.alive]
         for i, a in enumerate(alive):
@@ -88,11 +213,71 @@ class Topology:
                         distance=a.distance_to(b),
                     )
 
+    # -- lazy caches -------------------------------------------------------
+
+    def _ensure_epoch_caches(self) -> None:
+        """(Re)build the per-epoch neighbor tuples; reset BFS/route caches."""
+        if self._cache_epoch == self._epoch:
+            return
+        self._cache_epoch = self._epoch
+        self._wadj = None
+        self._bfs = {}
+        self._routes = {}
+        self._route_costs = {}
+        nbrs: Dict[str, Tuple[str, ...]] = {}
+        ids = self._arena_ids
+        if ids:
+            present = np.fromiter(
+                (nid in self._nodes for nid in ids), dtype=bool, count=len(ids)
+            )
+            for i, nid in enumerate(ids):
+                if not present[i]:
+                    continue
+                js = np.nonzero(self._adj[i] & present)[0]
+                nbrs[nid] = tuple(ids[j] for j in js.tolist())
+        self._nbrs = nbrs
+
+    def _routing_tables(self) -> Tuple[List[str], Dict[str, int], List[List[Tuple[int, float]]]]:
+        """Per-epoch routing tables over *integer* node indices.
+
+        ``rids``/``ridx`` map between node ids and dense indices covering
+        every current node (isolated ones included); ``radj[i]`` lists
+        ``(neighbor index, hop cost)`` in networkx adjacency order with
+        zero-bandwidth links excluded (the ``weight -> None`` hidden
+        edges of the legacy path). Integer keys make the Dijkstra replay
+        several times faster than string-keyed dictionaries without
+        touching its tie-breaking.
+        """
+        self._ensure_epoch_caches()
+        if self._wadj is None:
+            rids = list(self._nodes)
+            ridx = {nid: i for i, nid in enumerate(rids)}
+            nbrs = self._nbrs
+            radj: List[List[Tuple[int, float]]] = []
+            for nid in rids:
+                links: List[Tuple[int, float]] = []
+                neighbor_ids = nbrs.get(nid)
+                if neighbor_ids:
+                    i = self._index[nid]
+                    row = self._bw[i]
+                    for w in neighbor_ids:
+                        bw = float(row[self._index[w]])
+                        if bw > 0:
+                            links.append((ridx[w], 1000.0 / bw))
+                radj.append(links)
+            self._wadj = (rids, ridx, radj)
+        return self._wadj
+
+    # -- direct links ------------------------------------------------------
+
     def neighbors(self, node_id: str) -> Tuple[str, ...]:
         """Ids of live nodes in direct radio range of ``node_id``."""
         if node_id not in self._nodes:
             raise UnknownNodeError(node_id)
-        return tuple(self.graph.neighbors(node_id))
+        if not self._vectorized:
+            return tuple(self.graph.neighbors(node_id))
+        self._ensure_epoch_caches()
+        return self._nbrs.get(node_id, ())
 
     def connected(self, a: str, b: str) -> bool:
         """Whether a direct link exists between ``a`` and ``b``."""
@@ -100,7 +285,13 @@ class Topology:
             raise UnknownNodeError(a)
         if b not in self._nodes:
             raise UnknownNodeError(b)
-        return self.graph.has_edge(a, b)
+        if not self._vectorized:
+            return self.graph.has_edge(a, b)
+        i = self._index.get(a)
+        j = self._index.get(b)
+        if i is None or j is None:
+            return False
+        return bool(self._adj[i, j])
 
     def link_bandwidth(self, a: str, b: str) -> float:
         """Direct-link bandwidth in kb/s.
@@ -110,13 +301,29 @@ class Topology:
         """
         if not self.connected(a, b):
             raise NotConnectedError(f"no link {a!r} <-> {b!r}")
-        return float(self.graph.edges[a, b]["bandwidth"])
+        if not self._vectorized:
+            return float(self.graph.edges[a, b]["bandwidth"])
+        return float(self._bw[self._index[a], self._index[b]])
 
     def link_loss(self, a: str, b: str) -> float:
         """Direct-link loss probability."""
         if not self.connected(a, b):
             raise NotConnectedError(f"no link {a!r} <-> {b!r}")
-        return float(self.graph.edges[a, b]["loss"])
+        if not self._vectorized:
+            return float(self.graph.edges[a, b]["loss"])
+        return float(self._loss[self._index[a], self._index[b]])
+
+    def edge_quality(self, a: str, b: str) -> Optional[Tuple[float, float]]:
+        """``(bandwidth, loss)`` of the direct link, or ``None`` when the
+        nodes are not directly linked. One membership check instead of
+        three — the channel model calls this per transmitted message."""
+        if not self.connected(a, b):
+            return None
+        if not self._vectorized:
+            data = self.graph.edges[a, b]
+            return float(data["bandwidth"]), float(data["loss"])
+        i, j = self._index[a], self._index[b]
+        return float(self._bw[i, j]), float(self._loss[i, j])
 
     def communication_cost(self, a: str, b: str) -> float:
         """Cost of talking over the direct link: inverse normalized
@@ -135,14 +342,45 @@ class Topology:
 
         ``k=1`` equals :meth:`neighbors`. Supports the relayed-CFP
         extension: the paper's broadcast is one-hop, but §1 explicitly
-        keeps larger infrastructures in scope.
+        keeps larger infrastructures in scope. Vector mode answers from
+        the per-epoch BFS cache: the BFS discovery order is independent
+        of the hop cutoff, so one cached traversal serves every ``k``.
         """
         if node_id not in self._nodes:
             raise UnknownNodeError(node_id)
         if k < 1:
             return ()
-        lengths = nx.single_source_shortest_path_length(self.graph, node_id, cutoff=k)
-        return tuple(n for n in lengths if n != node_id)
+        if not self._vectorized:
+            lengths = nx.single_source_shortest_path_length(self.graph, node_id, cutoff=k)
+            return tuple(n for n in lengths if n != node_id)
+        order = self._bfs_order(node_id)
+        return tuple(n for n, level in order if level <= k and n != node_id)
+
+    def _bfs_order(self, source: str) -> List[Tuple[str, int]]:
+        """Full BFS ``(node, hop level)`` discovery order from ``source``,
+        replicating networkx's ``_single_shortest_path_length`` (level by
+        level, neighbors in adjacency order, first discovery wins)."""
+        self._ensure_epoch_caches()
+        cached = self._bfs.get(source)
+        if cached is not None:
+            return cached
+        nbrs = self._nbrs
+        seen = {source}
+        order = [(source, 0)]
+        nextlevel = [source]
+        level = 0
+        while nextlevel:
+            level += 1
+            thislevel = nextlevel
+            nextlevel = []
+            for v in thislevel:
+                for w in nbrs.get(v, ()):
+                    if w not in seen:
+                        seen.add(w)
+                        nextlevel.append(w)
+                        order.append((w, level))
+        self._bfs[source] = order
+        return order
 
     def shortest_route(self, a: str, b: str) -> Optional[Tuple[str, ...]]:
         """Minimum-communication-cost multi-hop route from ``a`` to ``b``.
@@ -150,6 +388,9 @@ class Topology:
         Edge weight is the per-hop communication cost (inverse normalized
         bandwidth). Returns the node sequence including both endpoints,
         or ``None`` when no path exists. ``a == b`` yields ``(a,)``.
+        Vector mode memoizes per ``(epoch, a, b)`` — the first query runs
+        a bidirectional Dijkstra over precompiled hop costs (no Python
+        weight callable, no attribute dictionaries), repeats are O(1).
         """
         if a not in self._nodes:
             raise UnknownNodeError(a)
@@ -157,42 +398,218 @@ class Topology:
             raise UnknownNodeError(b)
         if a == b:
             return (a,)
-        try:
-            path = nx.shortest_path(
-                self.graph, a, b,
-                weight=lambda u, v, d: 1000.0 / d["bandwidth"] if d["bandwidth"] > 0 else None,
-            )
-        except nx.NetworkXNoPath:
-            return None
-        return tuple(path)
+        if not self._vectorized:
+            try:
+                path = nx.shortest_path(
+                    self.graph, a, b,
+                    weight=lambda u, v, d: 1000.0 / d["bandwidth"] if d["bandwidth"] > 0 else None,
+                )
+            except nx.NetworkXNoPath:
+                return None
+            return tuple(path)
+        self._ensure_epoch_caches()
+        key = (a, b)
+        if key in self._routes:
+            return self._routes[key]
+        route = self._bidirectional_dijkstra(a, b)
+        self._routes[key] = route
+        return route
+
+    def _bidirectional_dijkstra(self, source: str, target: str) -> Optional[Tuple[str, ...]]:
+        """Replay of networkx's ``bidirectional_dijkstra`` over the
+        precompiled integer-indexed routing adjacency — identical
+        alternation, heap tie-breaking (insertion counter) and meet-node
+        selection, so the returned route matches the legacy path even
+        when several routes tie on cost (common: links within half range
+        all cost the same).
+        """
+        rids, ridx, radj = self._routing_tables()
+        src, dst = ridx[source], ridx[target]
+        n = len(rids)
+        # Per-direction state lives in flat arrays of length 2n (forward
+        # at offset 0, backward at offset n): byte flags + value lists
+        # index faster than the string-keyed dictionaries networkx uses,
+        # while every comparison below mirrors its algorithm verbatim.
+        dist_flag = bytearray(2 * n)
+        seen_flag = bytearray(2 * n)
+        seen_val = [0.0] * (2 * n)
+        preds = [-1] * (2 * n)
+        fringes: Tuple[List[Tuple[float, int, int]], ...] = ([], [])
+        push, pop = heappush, heappop
+        push(fringes[0], (0, 0, src))
+        push(fringes[1], (0, 1, dst))
+        seen_flag[src] = 1
+        seen_flag[n + dst] = 1
+        c = 2
+        finaldist: Optional[float] = None
+        meetnode = -1
+        direction = 1
+        while fringes[0] and fringes[1]:
+            direction = 1 - direction
+            base = direction * n
+            other = n - base
+            dist_v, _, v = pop(fringes[direction])
+            if dist_flag[base + v]:
+                continue
+            dist_flag[base + v] = 1
+            if dist_flag[other + v]:
+                route: List[int] = []
+                node = meetnode
+                while node != -1:
+                    route.append(node)
+                    node = preds[node]
+                route.reverse()
+                node = preds[n + meetnode]
+                while node != -1:
+                    route.append(node)
+                    node = preds[n + node]
+                return tuple(rids[i] for i in route)
+            this_fringe = fringes[direction]
+            for w, cost in radj[v]:
+                bw = base + w
+                if dist_flag[bw]:
+                    # Already finalized in this direction; non-negative
+                    # weights make networkx's contradictory-path check
+                    # unreachable here.
+                    continue
+                vw_dist = dist_v + cost
+                if not seen_flag[bw] or vw_dist < seen_val[bw]:
+                    seen_flag[bw] = 1
+                    seen_val[bw] = vw_dist
+                    push(this_fringe, (vw_dist, c, w))
+                    c += 1
+                    preds[bw] = v
+                    ow = other + w
+                    if seen_flag[ow]:
+                        total = vw_dist + seen_val[ow]
+                        if finaldist is None or finaldist > total:
+                            finaldist, meetnode = total, w
+        return None
+
+    def _hop_cost(self, a: str, b: str) -> float:
+        """Per-hop communication cost of an existing edge, read straight
+        from the cached edge data (no membership/connectivity re-checks —
+        the route the caller just computed guarantees the edge exists)."""
+        if self._vectorized:
+            bw = float(self._bw[self._index[a], self._index[b]])
+        else:
+            bw = float(self.graph.edges[a, b]["bandwidth"])
+        return 1000.0 / bw if bw > 0 else float("inf")
 
     def multihop_cost(self, a: str, b: str) -> float:
         """Communication cost of the best multi-hop route (sum of per-hop
         costs); ``inf`` when unreachable, 0 for ``a == b``."""
+        if self._vectorized:
+            if a not in self._nodes:
+                raise UnknownNodeError(a)
+            if b not in self._nodes:
+                raise UnknownNodeError(b)
+            self._ensure_epoch_caches()
+            cached = self._route_costs.get((a, b))
+            if cached is not None:
+                return cached
         route = self.shortest_route(a, b)
         if route is None:
-            return float("inf")
-        total = 0.0
-        for u, v in zip(route, route[1:]):
-            total += self.communication_cost(u, v)
+            total = float("inf")
+        else:
+            total = 0.0
+            for u, v in zip(route, route[1:]):
+                total += self._hop_cost(u, v)
+        if self._vectorized:
+            self._route_costs[(a, b)] = total
         return total
 
     # -- analysis helpers ------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The connectivity graph as a :mod:`networkx` object.
+
+        Legacy mode maintains it live; vector mode materializes it lazily
+        from the arena arrays (same node/edge insertion order and edge
+        attributes as the legacy rebuild) and treats it as a read-only
+        snapshot — it is dropped on the next rebuild or membership change.
+        """
+        if self._graph is None:
+            g = nx.Graph()
+            g.add_nodes_from(self._nodes)
+            ids = self._arena_ids
+            pos = self.positions
+            for i, a_id in enumerate(ids):
+                if a_id not in self._nodes:
+                    continue
+                row = np.nonzero(self._adj[i, i + 1 :])[0]
+                for off in row.tolist():
+                    j = i + 1 + off
+                    b_id = ids[j]
+                    if b_id not in self._nodes:
+                        continue
+                    dx = float(pos[i, 0]) - float(pos[j, 0])
+                    dy = float(pos[i, 1]) - float(pos[j, 1])
+                    g.add_edge(
+                        a_id, b_id,
+                        bandwidth=float(self._bw[i, j]),
+                        loss=float(self._loss[i, j]),
+                        # Legacy stored Node.distance_to at rebuild time,
+                        # which uses (dx*dx+dy*dy)**0.5 — NOT math.hypot;
+                        # the two differ in the last ulp. Keep this formula
+                        # (over the rebuild-time arena positions, not the
+                        # nodes' possibly-moved current ones) or the A/B
+                        # graph equality breaks.
+                        distance=(dx * dx + dy * dy) ** 0.5,
+                    )
+            self._graph = g
+        return self._graph
 
     def reachable_set(self, node_id: str) -> frozenset[str]:
         """All nodes reachable from ``node_id`` via multi-hop paths."""
         if node_id not in self._nodes:
             raise UnknownNodeError(node_id)
-        return frozenset(nx.node_connected_component(self.graph, node_id))
+        if not self._vectorized:
+            return frozenset(nx.node_connected_component(self.graph, node_id))
+        return frozenset(n for n, _ in self._bfs_order(node_id))
 
     def component_count(self) -> int:
         """Number of connected components among live nodes."""
-        alive = [n.node_id for n in self._nodes.values() if n.alive]
-        return nx.number_connected_components(self.graph.subgraph(alive))
+        if not self._vectorized:
+            alive = [n.node_id for n in self._nodes.values() if n.alive]
+            return nx.number_connected_components(self.graph.subgraph(alive))
+        self._ensure_epoch_caches()
+        alive = {nid for nid, n in self._nodes.items() if n.alive}
+        seen: set = set()
+        components = 0
+        for nid in alive:
+            if nid in seen:
+                continue
+            components += 1
+            stack = [nid]
+            seen.add(nid)
+            while stack:
+                v = stack.pop()
+                for w in self._nbrs.get(v, ()):
+                    if w in alive and w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+        return components
 
     def average_degree(self) -> float:
         """Mean neighbor count over all registered nodes."""
-        n = self.graph.number_of_nodes()
+        if not self._vectorized:
+            n = self.graph.number_of_nodes()
+            if n == 0:
+                return 0.0
+            return 2.0 * self.graph.number_of_edges() / n
+        n = len(self._nodes)
         if n == 0:
             return 0.0
-        return 2.0 * self.graph.number_of_edges() / n
+        return 2.0 * self._current_edge_count() / n
+
+    def _current_edge_count(self) -> int:
+        if not self._removed_since_rebuild:
+            return self._edge_count
+        ids = self._arena_ids
+        present = np.fromiter(
+            (nid in self._nodes for nid in ids), dtype=bool, count=len(ids)
+        )
+        masked = self._adj & present[:, None] & present[None, :]
+        return int(np.count_nonzero(masked)) // 2

@@ -14,7 +14,7 @@ by task execution (the paper's motivation for offloading).
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ResourceError
 from repro.resources.capacity import Capacity
@@ -82,6 +82,29 @@ class Node:
         self.manager = ResourceManager(self.capacity, name=f"rm:{node_id}")
         self.battery = self.capacity.get(ResourceKind.ENERGY)
         self.alive = True
+        self._liveness_watchers: List[Callable[["Node"], None]] = []
+
+    # -- liveness observers ----------------------------------------------
+
+    def add_liveness_watcher(self, watcher: Callable[["Node"], None]) -> None:
+        """Register a callback fired whenever ``alive`` flips (death by
+        battery drain, :meth:`fail`, :meth:`recover`). The topology layer
+        uses this to bump its cache epoch the instant liveness changes."""
+        if watcher not in self._liveness_watchers:
+            self._liveness_watchers.append(watcher)
+
+    def remove_liveness_watcher(self, watcher: Callable[["Node"], None]) -> None:
+        try:
+            self._liveness_watchers.remove(watcher)
+        except ValueError:
+            pass
+
+    def _set_alive(self, alive: bool) -> None:
+        if alive == self.alive:
+            return
+        self.alive = alive
+        for watcher in tuple(self._liveness_watchers):
+            watcher(self)
 
     # -- energy ----------------------------------------------------------
 
@@ -99,16 +122,16 @@ class Node:
             raise ResourceError(f"negative energy draw: {joules}")
         self.battery = max(0.0, self.battery - joules)
         if self.battery == 0.0 and self.capacity.get(ResourceKind.ENERGY) < 1e11:
-            self.alive = False
+            self._set_alive(False)
 
     def fail(self) -> None:
         """Mark the node failed (crash / out of range permanently)."""
-        self.alive = False
+        self._set_alive(False)
 
     def recover(self) -> None:
         """Bring a failed node back (battery unchanged)."""
         if self.battery > 0.0 or self.capacity.get(ResourceKind.ENERGY) >= 1e11:
-            self.alive = True
+            self._set_alive(True)
 
     # -- geometry ----------------------------------------------------------
 

@@ -45,6 +45,7 @@ class Engine:
         self._running: bool = False
         self._stopped: bool = False
         self._fired: int = 0
+        self._pending: int = 0
 
     # -- scheduling -------------------------------------------------------
 
@@ -91,7 +92,13 @@ class Engine:
         event = Event(time=time, priority=int(priority), seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, on_cancel=self._on_cancel)
+
+    def _on_cancel(self) -> None:
+        """A queued event was cancelled; keep the live counter exact (the
+        event itself is lazily discarded when it reaches the heap top)."""
+        self._pending -= 1
 
     # -- execution --------------------------------------------------------
 
@@ -104,11 +111,13 @@ class Engine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # already subtracted from the pending counter
             if event.time < self.now:  # pragma: no cover - defensive
                 raise SchedulingError("event heap yielded a past event")
             self.now = event.time
             self._fired += 1
+            self._pending -= 1
+            event.fired = True
             event.callback(self.now)
             return True
         return False
@@ -156,8 +165,13 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of queued, non-cancelled events.
+
+        O(1): a live counter maintained on push, cancel and pop, so
+        monitors polling this on every sample stay cheap on long runs
+        (the old implementation scanned the whole heap each call).
+        """
+        return self._pending
 
     @property
     def events_fired(self) -> int:

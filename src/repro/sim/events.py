@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 class Priority(enum.IntEnum):
@@ -51,19 +51,25 @@ class Event:
     seq: int
     callback: Callable[[float], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Cancellation token returned by :meth:`repro.sim.Engine.schedule`.
 
     Cancelling is O(1): the underlying event is flagged and skipped when it
-    reaches the head of the queue (lazy deletion).
+    reaches the head of the queue (lazy deletion). The engine passes an
+    ``on_cancel`` callback so its live pending-event counter stays exact
+    without scanning the heap.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_on_cancel")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self, event: Event, on_cancel: Optional[Callable[[], None]] = None
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> float:
@@ -78,9 +84,11 @@ class EventHandle:
     def cancel(self) -> bool:
         """Cancel the event. Returns ``True`` if it had not already fired
         or been cancelled."""
-        if self._event.cancelled:
+        if self._event.cancelled or self._event.fired:
             return False
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

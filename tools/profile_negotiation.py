@@ -18,6 +18,10 @@ Phases are attributed by module/function (cumulative time):
   (``repro.core.evaluation`` / ``repro.core.selection``);
 * **network** — message transmission, routing and delivery
   (``repro.network``);
+* **topology** — topology maintenance and multi-hop routing only
+  (``repro.network.topology`` + the geometry arena): the rebuild /
+  route-cache slice of **network**, reported separately so the
+  vectorized arena's share stays visible;
 * **setup** — fleet/topology/agent construction
   (``repro.experiments.scenario`` + topology rebuilds).
 
@@ -46,6 +50,7 @@ PHASES = {
     "formulation": ("repro/core/formulation.py",),
     "evaluation": ("repro/core/evaluation.py", "repro/core/selection.py"),
     "network": ("repro/network/",),
+    "topology": ("repro/network/topology.py", "repro/network/geometry.py"),
     "setup": ("repro/experiments/scenario.py",),
 }
 
