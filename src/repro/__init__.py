@@ -16,8 +16,21 @@ coalition-formation system for wireless ad-hoc networks:
   baseline allocators;
 * **Agents** (:mod:`repro.agents`): the protocol as asynchronous message
   passing;
-* **Experiments** (:mod:`repro.experiments`): the E1–E19 evaluation
+* **Sessions** (:mod:`repro.sessions`): the streaming-session life
+  cycle (NEGOTIATING → OPERATING → DEGRADED → RENEGOTIATING →
+  CLOSED/DROPPED) and the :class:`~repro.sessions.SessionDriver` that
+  runs admitted coalitions' operation phases *inside* contention;
+* **Workloads** (:mod:`repro.workloads`): service families, arrival
+  processes and the multi-requester contention runner
+  (:func:`~repro.workloads.run_contention`);
+* **Experiments** (:mod:`repro.experiments`): the E1–E20 evaluation
   suite.
+
+Determinism contract: every run is a pure function of its seed — all
+randomness flows through named :class:`~repro.sim.rng.RngRegistry`
+streams, and event ordering is the engine's deterministic
+(time, priority, seq) order, so serial and parallel experiment
+executions are bit-identical.
 
 Quickstart::
 
@@ -76,8 +89,11 @@ from repro.core import (
     run_operation_phase,
 )
 from repro.agents import AgentSystem, OrganizerAgent, ProviderAgent
+from repro.core.operation import OperationReport
 from repro.metrics import outcome_utility
+from repro.sessions import Session, SessionDriver, SessionPolicy, SessionState
 from repro.sim import Engine
+from repro.workloads import ContentionConfig, ContentionResult, run_contention
 
 __version__ = "1.0.0"
 
@@ -131,6 +147,15 @@ __all__ = [
     "AgentSystem",
     "OrganizerAgent",
     "ProviderAgent",
+    # sessions / workloads
+    "OperationReport",
+    "Session",
+    "SessionDriver",
+    "SessionPolicy",
+    "SessionState",
+    "ContentionConfig",
+    "ContentionResult",
+    "run_contention",
     # metrics / sim
     "outcome_utility",
     "Engine",

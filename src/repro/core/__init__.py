@@ -17,7 +17,10 @@ Layout mirrors the paper:
 * :mod:`repro.core.coalition` — coalition object and life cycle
   (Section 4);
 * :mod:`repro.core.operation` — operation-phase monitoring and failure
-  reconfiguration (Section 4's "Operation" phase);
+  reconfiguration (Section 4's "Operation" phase), run-to-quiescence
+  driver for one coalition at a time (for the operation phase *under
+  contention* — many coalitions on one shared engine — see
+  :mod:`repro.sessions`);
 * :mod:`repro.core.baselines` — comparison allocators (single node,
   random, centralized greedy, exhaustive optimal).
 """
@@ -35,7 +38,12 @@ from repro.core.evaluation import ProposalEvaluator, WeightScheme
 from repro.core.admissibility import is_admissible, admissibility_failures
 from repro.core.reputation import ReputationTracker
 from repro.core.selection import SelectionPolicy, ScoredProposal
-from repro.core.negotiation import NegotiationOutcome, TaskAward, negotiate
+from repro.core.negotiation import (
+    NegotiationOutcome,
+    TaskAward,
+    negotiate,
+    release_coalition,
+)
 from repro.core.coalition import Coalition, CoalitionPhase
 from repro.core.operation import OperationReport, run_operation_phase
 from repro.core import baselines
@@ -59,6 +67,7 @@ __all__ = [
     "NegotiationOutcome",
     "TaskAward",
     "negotiate",
+    "release_coalition",
     "Coalition",
     "CoalitionPhase",
     "OperationReport",

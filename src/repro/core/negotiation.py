@@ -283,6 +283,7 @@ def score_admissible(
     reputation=None,
     battery=None,
     evaluator_kwargs: Optional[dict] = None,
+    use_batch: Optional[bool] = None,
 ) -> Tuple[ScoredProposal, ...]:
     """Step-3 scoring of one task's admissible proposals (both drivers).
 
@@ -293,9 +294,15 @@ def score_admissible(
     sharing a request reuse the compiled arrays. With the switch off the
     scalar evaluator reproduces the pre-batching path; both paths score
     bit-identically (``tests/test_batch_evaluation.py``).
+
+    ``use_batch`` lets a caller pin the path for its whole run —
+    :func:`negotiate` snapshots the switch once at entry, so one
+    negotiation never mixes paths even if the global flips mid-run
+    (the construction-time-snapshot semantics of :mod:`repro.features`).
+    ``None`` reads the global per call.
     """
     kwargs = evaluator_kwargs or {}
-    if USE_BATCH_EVALUATION:
+    if USE_BATCH_EVALUATION if use_batch is None else use_batch:
         evaluator = evaluator_cache.get(id(request))
         if evaluator is None:
             evaluator = BatchProposalEvaluator(request, weights=weights, **kwargs)
@@ -358,6 +365,9 @@ def negotiate(
     selection = selection if selection is not None else SelectionPolicy()
     evaluator_options = dict(evaluator_options or {})
     coalition = Coalition(service, formed_at=now)
+    # Snapshot the feature switch once: one run scores every task down
+    # the same path, even if the global is flipped mid-negotiation.
+    use_batch = USE_BATCH_EVALUATION
     audience = (
         tuple(candidates) if candidates is not None
         else candidate_nodes(service, topology, max_hops)
@@ -418,6 +428,7 @@ def negotiate(
             reputation=reputation.score if reputation is not None else None,
             battery=battery,
             evaluator_kwargs=evaluator_kwargs,
+            use_batch=use_batch,
         )
         ranked = selection.rank(scored)
         awarded = _try_award(

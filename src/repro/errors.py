@@ -125,6 +125,11 @@ class CoalitionStateError(CoalitionError):
     """An operation is invalid in the coalition's current phase."""
 
 
+class SessionStateError(CoalitionError):
+    """An illegal streaming-session life-cycle transition was attempted
+    (see :class:`repro.sessions.SessionState` for the legal machine)."""
+
+
 # --------------------------------------------------------------------------
 # Simulation kernel errors (repro.sim)
 # --------------------------------------------------------------------------

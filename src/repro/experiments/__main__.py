@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --quick --jobs 4 E5  # parallel smoke sweep
     python -m repro.experiments --list               # list available suites
     python -m repro.experiments --list-scenarios     # named contention scenarios
+    python -m repro.experiments --list-features      # feature-switch registry
+    python -m repro.experiments --scenario streaming-mix   # one named scenario
 
 Each suite's table prints to stdout (or one JSON report with ``--json``),
 and every invocation persists a run record plus a machine-readable
@@ -87,6 +89,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="list the named contention scenarios of the workload registry "
              "(repro.workloads.registry) and exit",
     )
+    parser.add_argument(
+        "--list-features", action="store_true",
+        help="list the feature switches of the repro.features registry "
+             "with their current state and exit",
+    )
+    parser.add_argument(
+        "--scenario", metavar="NAME",
+        help="run one named contention scenario over the replication "
+             "seeds and print its summarized metrics (instead of suites)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -103,6 +115,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{len(scenarios)} scenarios:")
         for spec in scenarios:
             print(f"{spec.name:>18}  {spec.description}")
+        return 0
+
+    if args.list_features:
+        from repro.features import describe
+
+        print(describe())
+        return 0
+
+    if args.scenario is not None:
+        from repro.experiments.runner import summarize_replications
+        from repro.workloads.registry import get_scenario
+
+        if args.seeds < 1:
+            print("--seeds must be at least 1", file=sys.stderr)
+            return 2
+        try:
+            spec = get_scenario(args.scenario)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        seeds = tuple(range(1, args.seeds + 1))
+        summary = summarize_replications(
+            (spec.metrics_run(seed) for seed in seeds), seeds
+        )
+        print(f"{spec.name}: {spec.description}")
+        print(f"({len(seeds)} seeds)")
+        width = max(len(k) for k in summary)
+        for key, stat in summary.items():
+            print(f"{key:>{width}}  {stat.mean:.3f}±{stat.std:.3f}")
         return 0
 
     names = args.suites or list(ALL_SUITES)

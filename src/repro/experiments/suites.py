@@ -59,7 +59,7 @@ from repro.resources.capacity import Capacity
 from repro.resources.kinds import ResourceKind
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
-from repro.experiments.workload_suites import e15_plan, e16_plan, e17_plan
+from repro.experiments.workload_suites import e15_plan, e16_plan, e17_plan, e20_plan
 from repro.services import workload
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -1193,6 +1193,7 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E17": e17_plan,
     "E18": e18_plan,
     "E19": e19_plan,
+    "E20": e20_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1215,6 +1216,7 @@ e16_saturation = _table_suite(e16_plan, "e16_saturation")
 e17_new_services = _table_suite(e17_plan, "e17_new_services")
 e18_scale_sweep = _table_suite(e18_plan, "e18_scale_sweep")
 e19_mobility_scale = _table_suite(e19_plan, "e19_mobility_scale")
+e20_streaming_sessions = _table_suite(e20_plan, "e20_streaming_sessions")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1237,4 +1239,5 @@ ALL_SUITES = {
     "E17": e17_new_services,
     "E18": e18_scale_sweep,
     "E19": e19_mobility_scale,
+    "E20": e20_streaming_sessions,
 }

@@ -1,4 +1,4 @@
-"""The E15–E17 suites: scenario-generation workloads under contention.
+"""The E15–E17 and E20 suites: scenario workloads under contention.
 
 Built entirely on :mod:`repro.workloads` — suites *name* scenarios from
 the declarative registry and sweep one field via
@@ -13,7 +13,12 @@ hand-building clusters and loops:
   admission control starts refusing sessions;
 * **E17** — coalition vs single node for the three **new** service
   families (speech recognition, sensor-fusion telemetry, navigation
-  rendering) — the E1 claim re-checked off the paper's beaten path.
+  rendering) — the E1 claim re-checked off the paper's beaten path;
+* **E20** — streaming sessions under churn: the ``streaming-mix``
+  scenario with ``sessions.operate=True``, swept over mobility ×
+  arrival rate × session length; admitted coalitions run their
+  operation phase *inside* the contention window (crash and battery
+  churn, in-place renegotiation — see :mod:`repro.sessions`).
 
 Each plan builder returns a :class:`~repro.experiments.plan.SuitePlan`
 and is registered in :data:`repro.experiments.suites.SUITE_PLANS` /
@@ -175,3 +180,70 @@ def e17_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
                   "coal_utility", "coal_size"),
         ))
     return SuitePlan("E17", table, points)
+
+
+# ==========================================================================
+# E20 — streaming sessions under churn
+# ==========================================================================
+
+
+def e20_plan(sweep: SweepConfig = SweepConfig()) -> SuitePlan:
+    """Extension (ROADMAP: operation phase under contention): admitted
+    coalitions *stream* — their operation phase runs inside the
+    contention window, against crash churn, battery drain and
+    (optionally) node mobility.
+
+    Sweeps the ``streaming-mix`` scenario (4 mixed requesters, 20
+    nodes, exponential crash hazard 1/200 s per helper, 30 J/s upkeep
+    drain per held award) over mobility model × per-requester arrival
+    rate × session-length multiplier. Sustained utility — admission
+    utility integrated over the planned span — separates from plain
+    admission utility as churn rises: renegotiations recover most
+    member deaths at a small sustained-utility cost, and longer
+    sessions (×2) see more churn per session, pushing the
+    renegotiation rate up and dropping the sessions whose retry budget
+    runs out.
+    """
+    mobilities = ("static", "waypoint")
+    rates = (1.0 / 60.0,) if sweep.quick else (1.0 / 60.0, 1.0 / 30.0)
+    scales = (1.0,) if sweep.quick else (1.0, 2.0)
+    horizon = 120.0 if sweep.quick else 240.0
+    base = get_scenario("streaming-mix").replace(horizon=horizon)
+    table = Table(
+        "E20 — streaming sessions under churn (streaming-mix scenario, "
+        f"{base.n_nodes} nodes)",
+        ["mobility × rate × length", "offered sessions", "success rate",
+         "sustained utility", "renegotiation rate", "drop rate"],
+        caption="Admitted coalitions run their operation phase inside the "
+                "contention window: helper crashes (exp. hazard 1/200 s) and "
+                "30 J/s-per-award streaming drain orphan tasks mid-session; "
+                "orphans renegotiate in place against the currently contended "
+                "cluster (2-attempt budget, 5 s keepalive detection). "
+                "Sustained utility integrates delivered utility over the "
+                "planned span; renegotiation rate counts attempts per "
+                "admitted session; drop rate counts admitted sessions torn "
+                "down mid-stream.",
+    )
+    points = []
+    for mobility in mobilities:
+        for rate in rates:
+            for scale in scales:
+                spec = base.replace(
+                    arrival_params=(("rate", rate),),
+                    sessions=base.sessions.replace(
+                        mobility=mobility,
+                        mobility_speed=4.0,
+                        duration_scale=scale,
+                    ),
+                )
+                label = f"{mobility}-{int(round(1.0 / rate))}s-x{scale:g}"
+
+                def run(seed: int, spec=spec) -> Dict[str, float]:
+                    return spec.metrics_run(seed)
+
+                points.append(SweepPoint(
+                    label=label, run=run,
+                    keys=("offered", "success_rate", "sustained_utility",
+                          "renegotiation_rate", "drop_rate"),
+                ))
+    return SuitePlan("E20", table, points)

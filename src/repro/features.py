@@ -1,0 +1,137 @@
+"""One registry for the library's feature switches.
+
+The optimized fast paths each ship with a module-level boolean so A/B
+tests can pin the legacy path and assert bit-identical results:
+
+* ``batch-evaluation`` — :data:`repro.core.negotiation.USE_BATCH_EVALUATION`,
+  the vectorized step-3 proposal scoring;
+* ``vector-topology`` — :data:`repro.network.topology.USE_VECTOR_TOPOLOGY`,
+  the numpy adjacency/routing arena;
+* ``session-driver`` — :data:`repro.workloads.contention.USE_SESSION_DRIVER`,
+  the event-driven streaming-session engine (configs with
+  ``sessions.operate=True`` fall back to admission-only when off).
+
+This module is the one place that knows where those booleans live.
+Switches keep living in their owning modules (existing tests
+monkeypatch them directly, and the modules stay importable alone);
+:func:`set_enabled`/:func:`override` here delegate to the same
+attributes, so both styles compose.
+
+Snapshot semantics — every switch is read **once per constructed
+object or run**, never mid-flight:
+
+* ``vector-topology`` at :class:`~repro.network.topology.Topology`
+  construction;
+* ``batch-evaluation`` at :func:`~repro.core.negotiation.negotiate`
+  entry (one negotiation scores all its tasks down one path);
+* ``session-driver`` at :func:`~repro.workloads.run_contention` entry
+  (one run is all-driver or all-legacy).
+
+Flipping a switch therefore affects the *next* object/run, which is
+what makes :func:`override` safe to wrap around a whole experiment.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass(frozen=True)
+class FeatureSwitch:
+    """Where one feature switch lives and what it does.
+
+    The module is imported lazily on first access, so this registry
+    never forces the whole library in at import time.
+    """
+
+    name: str
+    module: str
+    attribute: str
+    description: str
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(importlib.import_module(self.module), self.attribute))
+
+    def set(self, enabled: bool) -> None:
+        setattr(importlib.import_module(self.module), self.attribute, bool(enabled))
+
+
+#: The registry, keyed by kebab-case switch name.
+FEATURES: Dict[str, FeatureSwitch] = {
+    switch.name: switch
+    for switch in (
+        FeatureSwitch(
+            name="batch-evaluation",
+            module="repro.core.negotiation",
+            attribute="USE_BATCH_EVALUATION",
+            description="vectorized step-3 proposal scoring "
+                        "(snapshot per negotiate() run)",
+        ),
+        FeatureSwitch(
+            name="vector-topology",
+            module="repro.network.topology",
+            attribute="USE_VECTOR_TOPOLOGY",
+            description="numpy adjacency/routing arena "
+                        "(snapshot per Topology construction)",
+        ),
+        FeatureSwitch(
+            name="session-driver",
+            module="repro.workloads.contention",
+            attribute="USE_SESSION_DRIVER",
+            description="event-driven streaming-session engine "
+                        "(snapshot per run_contention() run)",
+        ),
+    )
+}
+
+
+def _get(name: str) -> FeatureSwitch:
+    try:
+        return FEATURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown feature {name!r}; available: {', '.join(FEATURES)}"
+        ) from None
+
+
+def is_enabled(name: str) -> bool:
+    """Current value of a switch (reads the owning module's global)."""
+    return _get(name).enabled
+
+
+def set_enabled(name: str, enabled: bool) -> None:
+    """Flip a switch (writes the owning module's global). Existing
+    objects keep their construction-time snapshot; new ones see it."""
+    _get(name).set(enabled)
+
+
+def snapshot() -> Dict[str, bool]:
+    """All switches' current values, in registry order."""
+    return {name: switch.enabled for name, switch in FEATURES.items()}
+
+
+@contextlib.contextmanager
+def override(name: str, enabled: bool) -> Iterator[None]:
+    """Temporarily pin one switch, restoring the previous value on exit
+    (the A/B-test idiom, exception-safe)."""
+    switch = _get(name)
+    previous = switch.enabled
+    switch.set(enabled)
+    try:
+        yield
+    finally:
+        switch.set(previous)
+
+
+def describe() -> str:
+    """A printable table of every switch (the CLI's --list-features)."""
+    width = max(len(name) for name in FEATURES)
+    lines = []
+    for name, switch in FEATURES.items():
+        state = "on " if switch.enabled else "off"
+        lines.append(f"{name:<{width}}  {state}  {switch.description}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Streaming-session life cycle: operation under contention.
+
+The paper's life cycle — formation, operation, dissolution — is modelled
+end to end here for *streaming* workloads: a :class:`Session` tracks one
+request through the NEGOTIATING → OPERATING → DEGRADED → RENEGOTIATING
+→ CLOSED/DROPPED machine, a :class:`SessionPolicy` declares the
+lifecycle knobs (keepalive cadence, renegotiation budget, crash hazard,
+upkeep drain, mobility), and a :class:`SessionDriver` runs every
+session's operation phase *concurrently with later admissions* on one
+shared engine — so mid-session renegotiations fight for the same
+contended cluster the newcomers do.
+
+Determinism contract: sessions and the driver draw no randomness.
+Arrival times, crash draws and waypoints are all pulled from named
+:class:`~repro.sim.rng.RngRegistry` streams by the caller
+(:func:`repro.workloads.run_contention`); given the same seed the event
+trace — and every metric derived from it — is bit-identical, serial or
+parallel.
+"""
+
+from repro.sessions.driver import SessionDriver
+from repro.sessions.lifecycle import (
+    ACTIVE_STATES,
+    SESSION_TRANSITIONS,
+    Session,
+    SessionState,
+)
+from repro.sessions.policy import MOBILITY_MODES, SessionPolicy
+
+__all__ = [
+    "ACTIVE_STATES",
+    "MOBILITY_MODES",
+    "SESSION_TRANSITIONS",
+    "Session",
+    "SessionDriver",
+    "SessionPolicy",
+    "SessionState",
+]

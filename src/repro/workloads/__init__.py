@@ -15,6 +15,10 @@ contention scenarios" — as a subsystem of its own:
   inhomogeneous Poisson via thinning);
 * :mod:`repro.workloads.contention` — K self-interested requesters with
   independent arrival streams competing for one cluster's providers;
+  with a :class:`~repro.sessions.SessionPolicy` that sets
+  ``operate=True`` the admitted coalitions' operation phases run
+  *inside* the contention window (crashes, battery drain, in-place
+  renegotiation — see :mod:`repro.sessions`);
 * :mod:`repro.workloads.registry` — the declarative
   :class:`~repro.workloads.registry.ScenarioSpec` registry that suites
   and the CLI (``--list-scenarios``) name scenarios through instead of
@@ -40,7 +44,12 @@ from repro.workloads.arrivals import (
     InhomogeneousPoissonProcess,
     PoissonProcess,
 )
-from repro.workloads.contention import ContentionResult, SessionOutcome, run_contention
+from repro.workloads.contention import (
+    ContentionConfig,
+    ContentionResult,
+    SessionOutcome,
+    run_contention,
+)
 from repro.workloads.registry import (
     SCENARIOS,
     ScenarioSpec,
@@ -68,6 +77,7 @@ __all__ = [
     "FixedIntervalProcess",
     "InhomogeneousPoissonProcess",
     "PoissonProcess",
+    "ContentionConfig",
     "ContentionResult",
     "SessionOutcome",
     "run_contention",

@@ -8,30 +8,42 @@ and later arrivals see whatever capacity the earlier coalitions left —
 exactly the self-interested-agents regime of the related
 equilibrium-computation work on integer programming games.
 
-The simulation is an event loop over the merged arrival sequence:
+A run is configured by one :class:`ContentionConfig` (which embeds a
+:class:`~repro.sessions.SessionPolicy`) and executes in one of two
+modes:
 
-1. generate per-requester arrival times (independent named RNG streams
-   ``arrivals:req<k>`` of the replication's registry);
-2. process arrivals in ``(time, requester, ordinal)`` order — the
-   tuple tie-break makes simultaneous arrivals deterministic;
-3. before each arrival, release the coalitions of sessions whose
-   duration has elapsed; then negotiate the new session against the
-   *live* resource state;
-4. record per-session success/utility and per-step concurrency.
+* **admission-only** (``sessions.operate=False``, the default and the
+  historical semantics): an event loop over the merged arrival
+  sequence — sessions negotiate, hold their reservations for their
+  nominal duration, and are released; nothing happens *during* a
+  session.
+* **streaming** (``sessions.operate=True``): the same arrivals are
+  submitted to a :class:`~repro.sessions.SessionDriver` on a discrete-
+  event engine, so each admitted coalition's *operation phase* — crash
+  and battery churn, degradation, in-place renegotiation against the
+  currently contended cluster — interleaves with later admissions.
 
-Everything derives from the replication seed (fleet, placement,
-arrivals), so a scenario is a pure function of its seed — the
+Both modes consume the ``fleet``, ``placement`` and
+``arrivals:req<k>`` RNG streams identically; the streaming mode's extra
+draws come from its own ``failures`` and ``mobility`` streams, which
+are independently derived — so flipping the mode never perturbs the
+cluster or the arrival sequence. Everything derives from the
+replication seed, so a scenario is a pure function of its seed — the
 precondition for riding the shared work-queue scheduler with the
 bit-identical parallel==serial guarantee.
 
 The helpers borrowed from :mod:`repro.experiments.scenario` are
-imported lazily inside :func:`build_contention_cluster` so this package
-never imports the experiment layer at module scope (the suites import
-us; see the :mod:`repro.workloads` docstring on layering).
+imported lazily inside :func:`build_contention_cluster` (and the
+experiment-layer fleet tables inside
+:class:`ContentionConfig.__post_init__`) so this package never imports
+the experiment layer at module scope (the suites import us; see the
+:mod:`repro.workloads` docstring on layering).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -39,15 +51,24 @@ import numpy as np
 
 from repro.core.negotiation import negotiate, release_coalition
 from repro.metrics.utility import outcome_utility
+from repro.network.mobility import RandomWaypoint
 from repro.network.topology import Topology
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
+from repro.sessions.driver import SessionDriver
+from repro.sessions.policy import SessionPolicy
+from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
 from repro.workloads.services import SERVICE_FAMILIES, build_service
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.experiments.config import ClusterConfig
+
+#: Feature switch (see :mod:`repro.features`): when ``False``, configs
+#: with ``sessions.operate=True`` fall back to the admission-only loop.
+#: Snapshotted once per :func:`run_contention` call.
+USE_SESSION_DRIVER = True
 
 
 def requester_id(k: int) -> str:
@@ -56,8 +77,93 @@ def requester_id(k: int) -> str:
 
 
 @dataclass(frozen=True)
+class ContentionConfig:
+    """Declarative configuration of one contention run.
+
+    Collapses what used to be :func:`run_contention`'s keyword sprawl
+    into one frozen, ``replace``-sweepable value shared by
+    :class:`~repro.workloads.registry.ScenarioSpec`, the experiment
+    suites and the CLI.
+
+    Attributes:
+        n_requesters: K, the number of competing requester devices.
+        families: Service family per requester
+            (:data:`~repro.workloads.services.SERVICE_FAMILIES` keys),
+            cycled when shorter than ``n_requesters``.
+        arrival: Arrival process shared by every requester — each draws
+            from its *own* RNG stream, so streams are independent.
+            ``None`` (the default) normalizes to Poisson at one session
+            per 40 s.
+        horizon: Observation window (simulated seconds); arrivals stop
+            here, but streaming sessions admitted before the horizon
+            run out their span.
+        n_nodes: Total cluster size, requesters included.
+        area: Square deployment area side (m).
+        radio_range: Disc-radio range (m).
+        requester_class: Device class of every requester (weak by
+            default, the paper's motivating client).
+        mix: Named helper-class mix
+            (:data:`repro.experiments.config.FLEET_MIXES` key).
+        sessions: The streaming-session lifecycle policy; its
+            ``operate`` flag selects admission-only vs streaming mode.
+    """
+
+    n_requesters: int = 2
+    families: Tuple[str, ...] = ("movie", "speech")
+    arrival: Optional[ArrivalProcess] = None
+    horizon: float = 240.0
+    n_nodes: int = 16
+    area: float = 120.0
+    radio_range: float = 100.0
+    requester_class: NodeClass = NodeClass.PHONE
+    mix: str = "default"
+    sessions: SessionPolicy = SessionPolicy()
+
+    def __post_init__(self) -> None:
+        # Lazy: keep repro.workloads importable without the experiment layer.
+        from repro.experiments.config import FLEET_MIXES
+
+        if self.n_requesters < 1:
+            raise ValueError(
+                f"need at least one requester, got {self.n_requesters}"
+            )
+        if self.n_nodes < self.n_requesters:
+            raise ValueError(
+                f"cluster of {self.n_nodes} cannot host "
+                f"{self.n_requesters} requesters"
+            )
+        object.__setattr__(self, "families", tuple(self.families))
+        unknown = [f for f in self.families if f not in SERVICE_FAMILIES]
+        if unknown:
+            raise KeyError(
+                f"unknown service family {unknown[0]!r}; "
+                f"available: {', '.join(SERVICE_FAMILIES)}"
+            )
+        if self.mix not in FLEET_MIXES:
+            raise KeyError(
+                f"unknown fleet mix {self.mix!r}; "
+                f"available: {', '.join(FLEET_MIXES)}"
+            )
+        if self.arrival is None:
+            object.__setattr__(self, "arrival", PoissonProcess(rate=1.0 / 40.0))
+
+    def replace(self, **changes) -> "ContentionConfig":
+        """A copy with fields changed (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class SessionOutcome:
-    """One session request and what the negotiation made of it."""
+    """One session request and what the run made of it.
+
+    ``final_state`` is ``"rejected"`` when admission failed,
+    ``"closed"`` for a session that streamed its full span, and
+    ``"dropped"`` for one torn down mid-stream (streaming mode only —
+    admission-only runs never drop what they admit). ``utility`` is the
+    admission-time utility; ``sustained_utility`` is the time-integrated
+    utility actually delivered over the planned span (equal to
+    ``utility`` when nothing churned, 0 for rejected sessions).
+    """
 
     requester: int
     arrival: float
@@ -67,6 +173,10 @@ class SessionOutcome:
     coalition_size: int
     concurrent: int
     """Sessions already holding reservations when this one negotiated."""
+    final_state: str = "closed"
+    sustained_utility: float = 0.0
+    renegotiations: int = 0
+    """In-place renegotiation attempts, successful or failed."""
 
 
 @dataclass
@@ -119,9 +229,13 @@ class ContentionResult:
 
         Keys are fixed regardless of outcomes, as
         :func:`~repro.experiments.runner.summarize_replications`
-        requires.
+        requires. The streaming-lifecycle keys are present in every
+        mode (admission-only runs report ``sustained_utility`` equal to
+        admission utility, zero renegotiations and zero drops), so
+        sweeps can mix modes without ragged rows.
         """
         n = len(self.sessions)
+        admitted = [s for s in self.sessions if s.success]
         return {
             "offered": float(n),
             "success_rate": (self.successes() / n) if n else 1.0,
@@ -137,6 +251,19 @@ class ContentionResult:
             ),
             "mean_coalition_size": (
                 float(np.mean([s.coalition_size for s in self.sessions])) if n else 0.0
+            ),
+            "sustained_utility": (
+                float(np.mean([s.sustained_utility for s in self.sessions]))
+                if n else 0.0
+            ),
+            "renegotiation_rate": (
+                sum(s.renegotiations for s in admitted) / len(admitted)
+                if admitted else 0.0
+            ),
+            "drop_rate": (
+                sum(1 for s in admitted if s.final_state == "dropped")
+                / len(admitted)
+                if admitted else 0.0
             ),
         }
 
@@ -161,83 +288,130 @@ def build_contention_cluster(
     return topology, providers, nodes
 
 
+_LEGACY_KWARGS = (
+    "n_requesters", "families", "arrival", "horizon", "n_nodes",
+    "area", "radio_range", "requester_class", "mix",
+)
+
+
 def run_contention(
     seed: int,
-    n_requesters: int = 2,
-    families: Sequence[str] = ("movie", "speech"),
+    config: Optional[ContentionConfig] = None,
+    *,
+    n_requesters: Optional[int] = None,
+    families: Optional[Sequence[str]] = None,
     arrival: Optional[ArrivalProcess] = None,
-    horizon: float = 240.0,
-    n_nodes: int = 16,
-    area: float = 120.0,
-    radio_range: float = 100.0,
-    requester_class: NodeClass = NodeClass.PHONE,
-    mix: str = "default",
+    horizon: Optional[float] = None,
+    n_nodes: Optional[int] = None,
+    area: Optional[float] = None,
+    radio_range: Optional[float] = None,
+    requester_class: Optional[NodeClass] = None,
+    mix: Optional[str] = None,
 ) -> ContentionResult:
-    """Run one multi-requester contention scenario.
+    """Run one contention scenario.
 
     Args:
         seed: Master seed; the run is a pure function of it.
-        n_requesters: K, the number of competing requester devices.
-        families: Service family per requester
-            (:data:`~repro.workloads.services.SERVICE_FAMILIES` keys),
-            cycled when shorter than ``n_requesters``.
-        arrival: Arrival process shared by every requester — each draws
-            from its *own* RNG stream, so streams are independent.
-            Defaults to Poisson at one session per 40 s.
-        horizon: Observation window (simulated seconds).
-        n_nodes: Total cluster size, requesters included.
-        area: Square deployment area side (m).
-        radio_range: Disc-radio range (m).
-        requester_class: Device class of every requester (weak by
-            default, the paper's motivating client).
-        mix: Named helper-class mix
-            (:data:`repro.experiments.config.FLEET_MIXES` key).
+        config: The :class:`ContentionConfig` describing the run
+            (``ContentionConfig()`` if omitted). The embedded
+            :class:`~repro.sessions.SessionPolicy` selects
+            admission-only vs streaming mode.
+        **legacy keywords**: The pre-config keyword surface
+            (``n_requesters=...``, ``families=...``, …) is still
+            accepted — it builds the equivalent config and emits a
+            :class:`DeprecationWarning`. Mixing ``config`` with legacy
+            keywords raises ``TypeError``.
 
     Returns:
         The :class:`ContentionResult` with per-session outcomes.
     """
+    legacy = {
+        name: value
+        for name, value in (
+            ("n_requesters", n_requesters),
+            ("families", families),
+            ("arrival", arrival),
+            ("horizon", horizon),
+            ("n_nodes", n_nodes),
+            ("area", area),
+            ("radio_range", radio_range),
+            ("requester_class", requester_class),
+            ("mix", mix),
+        )
+        if value is not None
+    }
+    if config is not None and legacy:
+        raise TypeError(
+            "pass either a ContentionConfig or legacy keyword arguments, "
+            f"not both (got config and {sorted(legacy)})"
+        )
+    if config is None:
+        if legacy:
+            warnings.warn(
+                "run_contention(seed, n_requesters=..., ...) is deprecated; "
+                "pass run_contention(seed, ContentionConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        config = ContentionConfig(**legacy)
+
     # Lazy: keep repro.workloads importable without the experiment layer.
     from repro.experiments.config import FLEET_MIXES, ClusterConfig
 
-    if n_requesters < 1:
-        raise ValueError(f"need at least one requester, got {n_requesters}")
-    if n_nodes < n_requesters:
-        raise ValueError(
-            f"cluster of {n_nodes} cannot host {n_requesters} requesters"
-        )
-    unknown = [f for f in families if f not in SERVICE_FAMILIES]
-    if unknown:
-        raise KeyError(
-            f"unknown service family {unknown[0]!r}; "
-            f"available: {', '.join(SERVICE_FAMILIES)}"
-        )
-    if arrival is None:
-        arrival = PoissonProcess(rate=1.0 / 40.0)
-    if mix not in FLEET_MIXES:
-        raise KeyError(
-            f"unknown fleet mix {mix!r}; available: {', '.join(FLEET_MIXES)}"
-        )
-
     registry = RngRegistry(seed)
-    config = ClusterConfig(
-        n_nodes=n_nodes,
-        requester_class=requester_class,
-        mix=dict(FLEET_MIXES[mix]),
-        area=area,
-        radio_range=radio_range,
+    cluster = ClusterConfig(
+        n_nodes=config.n_nodes,
+        requester_class=config.requester_class,
+        mix=dict(FLEET_MIXES[config.mix]),
+        area=config.area,
+        radio_range=config.radio_range,
     )
-    topology, providers, _nodes = build_contention_cluster(
-        config, n_requesters, registry
+    topology, providers, nodes = build_contention_cluster(
+        cluster, config.n_requesters, registry
     )
 
-    family_of = {k: families[k % len(families)] for k in range(n_requesters)}
+    family_of = {
+        k: config.families[k % len(config.families)]
+        for k in range(config.n_requesters)
+    }
     events: List[Tuple[float, int, int]] = []
-    for k in range(n_requesters):
-        times = arrival.arrivals(registry.stream(f"arrivals:{requester_id(k)}"), horizon)
+    assert config.arrival is not None  # normalized by __post_init__
+    for k in range(config.n_requesters):
+        times = config.arrival.arrivals(
+            registry.stream(f"arrivals:{requester_id(k)}"), config.horizon
+        )
         events.extend((t, k, i) for i, t in enumerate(times))
     events.sort()
 
-    result = ContentionResult(n_requesters=n_requesters, horizon=horizon)
+    # Snapshot the feature switch once: a run is all-driver or
+    # all-legacy, never mixed.
+    if config.sessions.operate and USE_SESSION_DRIVER:
+        return _run_streaming(
+            config, registry, topology, providers, nodes, events, family_of
+        )
+    return _run_admission_only(config, topology, providers, events, family_of)
+
+
+def _session_service(family: str, k: int, ordinal: int):
+    return build_service(
+        family,
+        requester=requester_id(k),
+        name=f"{family}-{requester_id(k)}-{ordinal}",
+    )
+
+
+def _run_admission_only(
+    config: ContentionConfig,
+    topology: Topology,
+    providers: Dict[str, QoSProvider],
+    events: List[Tuple[float, int, int]],
+    family_of: Dict[int, str],
+) -> ContentionResult:
+    """The historical admission-only loop: sessions hold reservations
+    for their nominal duration; nothing happens while they do."""
+    result = ContentionResult(
+        n_requesters=config.n_requesters, horizon=config.horizon
+    )
     active: List[Tuple[float, object]] = []  # (end time, coalition)
     for t, k, ordinal in events:
         # Dissolve sessions whose duration has elapsed by now.
@@ -250,19 +424,20 @@ def run_contention(
         active = still
 
         family = family_of[k]
-        service = build_service(
-            family, requester=requester_id(k), name=f"{family}-{requester_id(k)}-{ordinal}"
-        )
+        service = _session_service(family, k, ordinal)
         outcome = negotiate(service, topology, providers, commit=True, now=t)
+        utility = outcome_utility(outcome)
         result.sessions.append(
             SessionOutcome(
                 requester=k,
                 arrival=t,
                 family=family,
                 success=outcome.success,
-                utility=outcome_utility(outcome),
+                utility=utility,
                 coalition_size=outcome.coalition.size,
                 concurrent=len(active),
+                final_state="closed" if outcome.success else "rejected",
+                sustained_utility=utility if outcome.success else 0.0,
             )
         )
         if outcome.success:
@@ -273,5 +448,77 @@ def run_contention(
             release_coalition(outcome.coalition, providers, now=t)
 
     for _end, coalition in active:
-        release_coalition(coalition, providers, now=horizon)
+        release_coalition(coalition, providers, now=config.horizon)
+    return result
+
+
+def _run_streaming(
+    config: ContentionConfig,
+    registry: RngRegistry,
+    topology: Topology,
+    providers: Dict[str, QoSProvider],
+    nodes: List[Node],
+    events: List[Tuple[float, int, int]],
+    family_of: Dict[int, str],
+) -> ContentionResult:
+    """The streaming mode: every admitted coalition's operation phase
+    runs on a shared engine, interleaved with later admissions."""
+    policy = config.sessions
+    driver = SessionDriver(topology, providers, policy, engine=Engine())
+
+    # Crash churn: one exponential time-to-crash per helper node, in
+    # fleet order, from the run's own "failures" stream (independent of
+    # the fleet/placement/arrival streams, so enabling churn never
+    # perturbs the cluster or the arrivals).
+    if policy.failure_rate > 0.0:
+        requesters = {requester_id(k) for k in range(config.n_requesters)}
+        crash_stream = registry.stream("failures")
+        for node in nodes:
+            if node.node_id in requesters:
+                continue
+            crash_at = float(crash_stream.exponential(1.0 / policy.failure_rate))
+            if crash_at < config.horizon:
+                driver.schedule_failure(crash_at, node.node_id)
+
+    if policy.mobility == "waypoint":
+        mobility = RandomWaypoint(
+            width=config.area,
+            height=config.area,
+            speed_min=0.0,
+            speed_max=policy.mobility_speed,
+            pause=1.0,
+            rng=registry.stream("mobility"),
+        )
+        driver.attach_mobility(mobility, nodes)
+
+    submitted: List[Tuple[int, float, str]] = []
+    for t, k, ordinal in events:
+        family = family_of[k]
+        driver.submit(_session_service(family, k, ordinal), t)
+        submitted.append((k, t, family))
+    driver.run()
+
+    result = ContentionResult(
+        n_requesters=config.n_requesters, horizon=config.horizon
+    )
+    for (k, t, family), session in zip(submitted, driver.sessions):
+        admission = session.admission
+        result.sessions.append(
+            SessionOutcome(
+                requester=k,
+                arrival=t,
+                family=family,
+                success=session.admitted,
+                utility=outcome_utility(admission) if admission is not None else 0.0,
+                coalition_size=(
+                    admission.coalition.size if admission is not None else 0
+                ),
+                concurrent=session.concurrent,
+                final_state=(
+                    session.state.value if session.admitted else "rejected"
+                ),
+                sustained_utility=session.sustained_utility,
+                renegotiations=session.renegotiation_attempts,
+            )
+        )
     return result

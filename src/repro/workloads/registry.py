@@ -20,8 +20,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.resources.node import NodeClass
+from repro.sessions.policy import SessionPolicy
 from repro.workloads.arrivals import ARRIVAL_FAMILIES, ArrivalProcess, make_arrival_process
-from repro.workloads.contention import ContentionResult, run_contention
+from repro.workloads.contention import ContentionConfig, ContentionResult, run_contention
 from repro.workloads.services import SERVICE_FAMILIES
 
 
@@ -48,6 +49,9 @@ class ScenarioSpec:
         requester_class: Device class of every requester.
         mix: Named helper-class mix
             (:data:`repro.experiments.config.FLEET_MIXES` key).
+        sessions: Streaming-session lifecycle policy (see
+            :class:`~repro.sessions.SessionPolicy`); the default keeps
+            the scenario admission-only.
     """
 
     name: str
@@ -62,6 +66,7 @@ class ScenarioSpec:
     radio_range: float = 100.0
     requester_class: NodeClass = NodeClass.PHONE
     mix: str = "default"
+    sessions: SessionPolicy = SessionPolicy()
 
     def __post_init__(self) -> None:
         if not self.families:
@@ -97,10 +102,10 @@ class ScenarioSpec:
         """A copy with fields changed (sweep helper)."""
         return dataclasses.replace(self, **changes)
 
-    def run(self, seed: int) -> ContentionResult:
-        """Run the scenario; a pure function of ``seed``."""
-        return run_contention(
-            seed,
+    def contention_config(self) -> ContentionConfig:
+        """The :class:`~repro.workloads.contention.ContentionConfig`
+        this spec denotes (arrival process instantiated)."""
+        return ContentionConfig(
             n_requesters=self.n_requesters,
             families=self.families,
             arrival=self.arrival_process(),
@@ -110,7 +115,12 @@ class ScenarioSpec:
             radio_range=self.radio_range,
             requester_class=self.requester_class,
             mix=self.mix,
+            sessions=self.sessions,
         )
+
+    def run(self, seed: int) -> ContentionResult:
+        """Run the scenario; a pure function of ``seed``."""
+        return run_contention(seed, self.contention_config())
 
     def metrics_run(self, seed: int) -> Dict[str, float]:
         """``run(seed).metrics()`` — the suites' replication callable."""
@@ -211,4 +221,23 @@ register(ScenarioSpec(
                 "contending on 16 nodes",
     families=("speech", "sensor-fusion", "navigation"),
     n_requesters=3,
+))
+
+register(ScenarioSpec(
+    name="streaming-mix",
+    description="4 mixed requesters streaming under crash + battery churn "
+                "(E20 sweeps its mobility, arrival rate and session length)",
+    families=("movie", "speech", "sensor-fusion", "navigation"),
+    n_requesters=4,
+    n_nodes=20,
+    area=130.0,
+    radio_range=110.0,
+    mix="contention",
+    sessions=SessionPolicy(
+        operate=True,
+        keepalive=5.0,
+        max_renegotiations=2,
+        failure_rate=1.0 / 200.0,
+        drain=30.0,
+    ),
 ))
