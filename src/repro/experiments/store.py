@@ -41,8 +41,12 @@ from repro.metrics.stats import Summary
 #: land in the checkout's ``benchmarks/results/``).
 DEFAULT_ROOT = Path("benchmarks") / "results"
 
-#: Schema version stamped into every persisted record.
-SCHEMA_VERSION = 1
+#: Schema version stamped into every persisted record. Version 2 added
+#: per-seed ``samples`` and the percentile-bootstrap ``boot_lo`` /
+#: ``boot_hi`` fields to every summary cell (see
+#: :mod:`repro.metrics.bootstrap`); version-1 records still load, their
+#: summaries just carry ``None`` for the new fields.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

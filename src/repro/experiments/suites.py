@@ -59,7 +59,13 @@ from repro.resources.capacity import Capacity
 from repro.resources.kinds import ResourceKind
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
-from repro.experiments.workload_suites import e15_plan, e16_plan, e17_plan, e20_plan
+from repro.experiments.workload_suites import (
+    e15_plan,
+    e16_plan,
+    e17_plan,
+    e20_plan,
+    e21_plan,
+)
 from repro.services import workload
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -1194,6 +1200,7 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E18": e18_plan,
     "E19": e19_plan,
     "E20": e20_plan,
+    "E21": e21_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1217,6 +1224,7 @@ e17_new_services = _table_suite(e17_plan, "e17_new_services")
 e18_scale_sweep = _table_suite(e18_plan, "e18_scale_sweep")
 e19_mobility_scale = _table_suite(e19_plan, "e19_mobility_scale")
 e20_streaming_sessions = _table_suite(e20_plan, "e20_streaming_sessions")
+e21_realistic_arrivals = _table_suite(e21_plan, "e21_realistic_arrivals")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1240,4 +1248,5 @@ ALL_SUITES = {
     "E18": e18_scale_sweep,
     "E19": e19_mobility_scale,
     "E20": e20_streaming_sessions,
+    "E21": e21_realistic_arrivals,
 }

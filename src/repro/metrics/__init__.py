@@ -8,6 +8,11 @@ from repro.metrics.utility import (
 )
 from repro.metrics.collector import RunMetrics, collect_outcome_metrics
 from repro.metrics.stats import confidence_interval, describe, mean_ci
+from repro.metrics.bootstrap import (
+    BootstrapCI,
+    bootstrap_ci,
+    bootstrap_diff_ci,
+)
 
 __all__ = [
     "assignment_utility",
@@ -19,4 +24,7 @@ __all__ = [
     "confidence_interval",
     "describe",
     "mean_ci",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "bootstrap_diff_ci",
 ]

@@ -1,16 +1,29 @@
 """Aggregation statistics for seed sweeps.
 
 Experiments run each configuration over several seeds; these helpers turn
-the per-seed samples into the mean ± CI rows the reports print. The CI
-uses the normal approximation (sweeps of 10–30 replications), matching
-standard simulation-study practice.
+the per-seed samples into the mean ± CI rows the reports print. Two
+intervals travel with every summary:
+
+* ``ci_half_width`` — the classical normal-approximation 95 % CI
+  half-width (what the rendered ``mean±ci`` cells show, unchanged so
+  archived tables stay byte-identical);
+* ``boot_lo`` / ``boot_hi`` — a nonparametric 95 % percentile bootstrap
+  CI (:mod:`repro.metrics.bootstrap`), assumption-free and therefore
+  honest for the success/drop rates and timings that are nowhere near
+  Gaussian.
+
+Summaries also retain the raw per-seed ``samples``, which is what lets
+``tools/bench_diff.py`` derive its perf-gate tolerance as a *paired*
+bootstrap noise band between two reports instead of a hand-picked
+``rtol``. All three additions are deterministic functions of the
+samples, so the parallel==serial bit-identity guarantee is untouched.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +33,13 @@ Z_95 = 1.959963984540054
 
 @dataclass(frozen=True)
 class Summary:
-    """Descriptive statistics of one metric across replications."""
+    """Descriptive statistics of one metric across replications.
+
+    The trailing optional fields (``samples``, ``boot_lo``, ``boot_hi``)
+    are populated by :func:`describe` but default to ``None`` so
+    summaries persisted before they existed still deserialize (and
+    hand-built test summaries still construct positionally).
+    """
 
     mean: float
     std: float
@@ -28,16 +47,35 @@ class Summary:
     n: int
     minimum: float
     maximum: float
+    samples: Optional[Tuple[float, ...]] = None
+    boot_lo: Optional[float] = None
+    boot_hi: Optional[float] = None
 
     def __str__(self) -> str:
         return f"{self.mean:.4f} ± {self.ci_half_width:.4f} (n={self.n})"
 
+    def bootstrap_interval(self) -> Tuple[float, float]:
+        """The 95 % percentile-bootstrap interval ``(lo, hi)``.
+
+        Falls back to the degenerate ``(mean, mean)`` for summaries
+        predating the bootstrap fields.
+        """
+        if self.boot_lo is None or self.boot_hi is None:
+            return (self.mean, self.mean)
+        return (self.boot_lo, self.boot_hi)
+
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serializable form; :meth:`from_dict` round-trips it."""
-        return asdict(self)
+        data = asdict(self)
+        if data["samples"] is not None:
+            data["samples"] = list(data["samples"])
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Summary":
+        samples = data.get("samples")
+        boot_lo = data.get("boot_lo")
+        boot_hi = data.get("boot_hi")
         return cls(
             mean=float(data["mean"]),
             std=float(data["std"]),
@@ -45,11 +83,19 @@ class Summary:
             n=int(data["n"]),
             minimum=float(data["minimum"]),
             maximum=float(data["maximum"]),
+            samples=None if samples is None else tuple(float(s) for s in samples),
+            boot_lo=None if boot_lo is None else float(boot_lo),
+            boot_hi=None if boot_hi is None else float(boot_hi),
         )
 
 
 def describe(samples: Sequence[float]) -> Summary:
-    """Mean, sample std, 95 % CI half-width, extremes."""
+    """Mean, sample std, 95 % CI half-width, extremes — plus the raw
+    samples and their 95 % percentile bootstrap interval."""
+    # Local import: repro.metrics.bootstrap builds on numpy only, but
+    # keeping stats importable first avoids any cycle temptation.
+    from repro.metrics.bootstrap import bootstrap_ci
+
     if len(samples) == 0:
         raise ValueError("cannot describe an empty sample")
     arr = np.asarray(samples, dtype=float)
@@ -57,9 +103,12 @@ def describe(samples: Sequence[float]) -> Summary:
     mean = float(arr.mean())
     std = float(arr.std(ddof=1)) if n > 1 else 0.0
     half = Z_95 * std / math.sqrt(n) if n > 1 else 0.0
+    boot = bootstrap_ci(arr)
     return Summary(
         mean=mean, std=std, ci_half_width=half, n=n,
         minimum=float(arr.min()), maximum=float(arr.max()),
+        samples=tuple(float(x) for x in arr),
+        boot_lo=boot.lo, boot_hi=boot.hi,
     )
 
 

@@ -11,8 +11,13 @@ contention scenarios" — as a subsystem of its own:
   rendering) plus a name → builder registry spanning the paper's
   original three;
 * :mod:`repro.workloads.arrivals` — deterministic-given-seed session
-  arrival processes (fixed interval, homogeneous Poisson, bursty
-  inhomogeneous Poisson via thinning);
+  arrival processes (fixed interval, homogeneous Poisson, inhomogeneous
+  Poisson over arbitrary rate functions via thinning or the
+  conditional-density construction — bursty, diurnal, flash-crowd — and
+  trace replay);
+* :mod:`repro.workloads.rates` — composable deterministic rate shapes
+  (diurnal cycle, flash crowd, piecewise/trace-derived histograms) with
+  exact bounds and cumulative intensities;
 * :mod:`repro.workloads.contention` — K self-interested requesters with
   independent arrival streams competing for one cluster's providers;
   with a :class:`~repro.sessions.SessionPolicy` that sets
@@ -35,14 +40,24 @@ so importing :mod:`repro.workloads` never drags the experiment layer in
 (and the reverse import from the suites stays acyclic).
 """
 
-from repro.workloads import arrivals, contention, registry, services
+from repro.workloads import arrivals, contention, rates, registry, services
 from repro.workloads.arrivals import (
     ARRIVAL_FAMILIES,
     ArrivalProcess,
     BurstyProcess,
+    DiurnalProcess,
     FixedIntervalProcess,
+    FlashCrowdProcess,
     InhomogeneousPoissonProcess,
     PoissonProcess,
+    TraceReplayProcess,
+)
+from repro.workloads.rates import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowdRate,
+    PiecewiseConstantRate,
+    RateShape,
 )
 from repro.workloads.contention import (
     ContentionConfig,
@@ -69,14 +84,23 @@ from repro.workloads.services import (
 __all__ = [
     "arrivals",
     "contention",
+    "rates",
     "registry",
     "services",
     "ARRIVAL_FAMILIES",
     "ArrivalProcess",
     "BurstyProcess",
+    "DiurnalProcess",
     "FixedIntervalProcess",
+    "FlashCrowdProcess",
     "InhomogeneousPoissonProcess",
     "PoissonProcess",
+    "TraceReplayProcess",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "PiecewiseConstantRate",
+    "RateShape",
     "ContentionConfig",
     "ContentionResult",
     "SessionOutcome",

@@ -6,20 +6,28 @@ passes a named :class:`numpy.random.Generator` (from the replication's
 :class:`~repro.sim.rng.RngRegistry`), so the same seed always produces
 the same arrival times — the property the bit-identical parallel==serial
 guarantee of the experiment stack rests on. Every draw is consumed in a
-fixed order for the same reason.
+fixed order for the same reason, and no process ever emits an event at
+exactly ``t == horizon`` (the window is half-open).
 
-Three families:
+The families:
 
 * :class:`FixedIntervalProcess` — deterministic, evenly spaced sessions
   (a cron-like workload; consumes no randomness);
 * :class:`PoissonProcess` — homogeneous Poisson arrivals via
   exponential inter-arrival gaps (memoryless users);
-* :class:`InhomogeneousPoissonProcess` — time-varying rate via
-  Lewis–Shedler thinning (candidate times from a homogeneous process at
-  the rate ceiling, each kept with probability ``rate(t) / rate_max``),
-  the standard construction for inhomogeneous Poisson point processes;
-  :class:`BurstyProcess` specializes it to a square-wave rate (quiet
-  baseline with periodic bursts).
+* :class:`InhomogeneousPoissonProcess` — arbitrary time-varying rate,
+  described either by a plain callable with an explicit ceiling or by a
+  :class:`~repro.workloads.rates.RateShape`. Two exact simulation
+  methods: Lewis–Shedler **thinning** (candidates from a homogeneous
+  process at the ceiling, kept with probability ``rate(t)/rate_max``)
+  and the **conditional-density** construction (draw
+  ``N ~ Poisson(Λ(horizon))``, then place the N points by inverting the
+  cumulative intensity — the IPPP method, no ceiling required);
+* :class:`BurstyProcess` / :class:`DiurnalProcess` /
+  :class:`FlashCrowdProcess` — named specializations over the square
+  wave, raised-cosine diurnal cycle, and flash-crowd rate shapes;
+* :class:`TraceReplayProcess` — replays recorded arrival timestamps
+  (optionally shifted, rescaled, and looped); consumes no randomness.
 
 :data:`ARRIVAL_FAMILIES` maps short names to constructors so the
 declarative :class:`~repro.workloads.registry.ScenarioSpec` can select a
@@ -29,9 +37,16 @@ process without importing classes.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.workloads.rates import (
+    DiurnalRate,
+    FlashCrowdRate,
+    RateShape,
+    invert_cumulative,
+)
 
 
 class ArrivalProcess(abc.ABC):
@@ -44,7 +59,9 @@ class ArrivalProcess(abc.ABC):
         Args:
             rng: The stream supplying every random draw; equal states
                 yield equal times.
-            horizon: End of the observation window (seconds).
+            horizon: End of the observation window (seconds). The
+                window is half-open: no event is ever emitted at
+                exactly ``t == horizon``.
         """
 
     @staticmethod
@@ -97,28 +114,83 @@ class PoissonProcess(ArrivalProcess):
 
 
 class InhomogeneousPoissonProcess(ArrivalProcess):
-    """Time-varying Poisson arrivals via Lewis–Shedler thinning.
+    """Time-varying Poisson arrivals from an arbitrary rate function.
 
-    Candidate times are drawn from a homogeneous process at the ceiling
-    ``rate_max``; a candidate at ``t`` survives with probability
-    ``rate(t) / rate_max``. The acceptance draw is consumed for *every*
-    candidate (accepted or not), keeping the draw order — and therefore
-    the determinism guarantee — independent of the rate function.
+    The rate is either a plain callable ``t -> λ(t)`` with an explicit
+    ceiling ``rate_max``, or a :class:`~repro.workloads.rates.RateShape`
+    (ceiling inferred from :meth:`~repro.workloads.rates.RateShape.bound`,
+    cumulative intensity available for the conditional-density method).
+
+    Both methods are exact simulations of the inhomogeneous Poisson
+    point process and both are seed-deterministic — draws are consumed
+    in a fixed order that depends only on the drawn values, never on
+    wall-clock or call history:
+
+    * ``"thinning"`` (Lewis–Shedler, the default): candidate times from
+      a homogeneous process at ``rate_max``; a candidate at ``t``
+      survives with probability ``rate(t) / rate_max``. The acceptance
+      draw is consumed for *every* candidate (accepted or not), keeping
+      the draw order independent of the rate function.
+    * ``"inversion"`` (conditional-density, :class:`RateShape` only):
+      ``N ~ Poisson(Λ(horizon))``, then ``N`` uniforms mapped through
+      ``Λ⁻¹`` and sorted — one draw per *emitted* event regardless of
+      how loose any ceiling would be, the IPPP construction for rates
+      with a known cumulative.
+
+    A ceiling of exactly ``0`` (a shape that is zero everywhere, e.g.
+    an empty trace histogram) is a valid degenerate process: it emits
+    nothing and consumes no draws.
 
     Args:
-        rate: Instantaneous rate function ``t -> λ(t)`` with
-            ``0 <= λ(t) <= rate_max`` over the horizon.
+        rate: Instantaneous rate function with ``0 <= λ(t) <= rate_max``
+            over the horizon, or a :class:`RateShape`.
         rate_max: A (tight, for efficiency) upper bound on ``rate``.
+            Required for plain callables; defaults to the shape's own
+            bound and may not be below it.
+        method: ``"thinning"`` or ``"inversion"``.
     """
 
-    def __init__(self, rate: Callable[[float], float], rate_max: float) -> None:
-        if rate_max <= 0:
-            raise ValueError(f"rate_max must be positive, got {rate_max}")
+    def __init__(
+        self,
+        rate: Union[RateShape, Callable[[float], float]],
+        rate_max: Optional[float] = None,
+        method: str = "thinning",
+    ) -> None:
+        if method not in ("thinning", "inversion"):
+            raise ValueError(
+                f"unknown method {method!r}; use 'thinning' or 'inversion'"
+            )
+        self.shape: Optional[RateShape] = rate if isinstance(rate, RateShape) else None
+        if rate_max is None:
+            if self.shape is None:
+                raise ValueError("rate_max is required for a plain-callable rate")
+            rate_max = self.shape.bound()
+        if rate_max < 0:
+            raise ValueError(f"rate_max must be >= 0, got {rate_max}")
+        if self.shape is not None and rate_max < self.shape.bound():
+            raise ValueError(
+                f"rate_max {rate_max} is below the shape's bound "
+                f"{self.shape.bound()}"
+            )
+        if method == "inversion" and self.shape is None:
+            raise ValueError(
+                "method='inversion' needs a RateShape (cumulative intensity)"
+            )
         self.rate = rate
         self.rate_max = float(rate_max)
+        self.method = method
 
     def arrivals(self, rng: np.random.Generator, horizon: float) -> Tuple[float, ...]:
         self._check_horizon(horizon)
+        if self.method == "inversion":
+            return self._arrivals_inversion(rng, horizon)
+        return self._arrivals_thinning(rng, horizon)
+
+    def _arrivals_thinning(
+        self, rng: np.random.Generator, horizon: float
+    ) -> Tuple[float, ...]:
+        if self.rate_max == 0.0:
+            return ()
         times = []
         t = float(rng.exponential(1.0 / self.rate_max))
         while t < horizon:
@@ -130,6 +202,30 @@ class InhomogeneousPoissonProcess(ArrivalProcess):
             if float(rng.random()) < lam / self.rate_max:
                 times.append(t)
             t += float(rng.exponential(1.0 / self.rate_max))
+        return tuple(times)
+
+    def _arrivals_inversion(
+        self, rng: np.random.Generator, horizon: float
+    ) -> Tuple[float, ...]:
+        assert self.shape is not None  # guaranteed by __init__
+        total = self.shape.cumulative(horizon)
+        if total <= 0.0:
+            return ()
+        n = int(rng.poisson(total))
+        if n == 0:
+            return ()
+        targets = np.sort(rng.random(n)) * total
+        times: list = []
+        for target in targets:
+            t = invert_cumulative(self.shape, float(target), horizon)
+            # Bisection works to ~60-bit precision; two guards keep the
+            # output contract exact anyway: strictly increasing (nudge a
+            # tie up one ulp) and strictly inside the half-open window.
+            if times and t <= times[-1]:
+                t = float(np.nextafter(times[-1], np.inf))
+            if t >= horizon:
+                break
+            times.append(t)
         return tuple(times)
 
 
@@ -168,16 +264,142 @@ class BurstyProcess(InhomogeneousPoissonProcess):
         super().__init__(rate, rate_max=self.burst_rate)
 
 
+class DiurnalProcess(InhomogeneousPoissonProcess):
+    """Raised-cosine day/night arrival cycle (diurnal traffic).
+
+    A named :class:`InhomogeneousPoissonProcess` over
+    :class:`~repro.workloads.rates.DiurnalRate`: the rate swings between
+    ``base_rate`` at the trough (``t = phase``) and ``peak_rate`` at the
+    crest half a period later, averaging ``(base + peak) / 2`` over
+    whole periods. Simulated horizons usually compress the "day" far
+    below 86400 s so one run spans whole cycles.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        period: float,
+        phase: float = 0.0,
+        method: str = "thinning",
+    ) -> None:
+        super().__init__(
+            DiurnalRate(base_rate, peak_rate, period, phase), method=method
+        )
+
+
+class FlashCrowdProcess(InhomogeneousPoissonProcess):
+    """Baseline traffic hit by one flash crowd.
+
+    A named :class:`InhomogeneousPoissonProcess` over
+    :class:`~repro.workloads.rates.FlashCrowdRate`: baseline
+    ``base_rate`` until ``onset``, a linear ramp to ``peak_rate`` over
+    ``rise`` seconds, then exponential relaxation with time constant
+    ``decay`` — sudden onset, slow dissipation, the empirical flash-
+    crowd signature.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        onset: float,
+        rise: float = 10.0,
+        decay: float = 30.0,
+        method: str = "thinning",
+    ) -> None:
+        super().__init__(
+            FlashCrowdRate(base_rate, peak_rate, onset, rise, decay), method=method
+        )
+
+
+class TraceReplayProcess(ArrivalProcess):
+    """Replays recorded arrival timestamps.
+
+    The trace is normalized once at construction: timestamps are
+    scaled by ``time_scale``, shifted by ``offset``, sorted, and exact
+    duplicates collapsed (the output contract is strictly increasing
+    times). Replay is fully deterministic — the ``rng`` argument is
+    never drawn from — and clipped to ``[0, horizon)`` like every other
+    process, so a trace recorded over a longer window simply truncates.
+
+    Args:
+        times: Recorded arrival timestamps (seconds, ``>= 0``).
+        offset: Added to every (scaled) timestamp.
+        time_scale: Multiplier applied to the raw timestamps —
+            ``0.5`` replays the trace twice as fast.
+        loop_period: If given, the (post-scale) trace repeats every
+            ``loop_period`` seconds until the horizon; must exceed the
+            last scaled timestamp so copies never interleave.
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        offset: float = 0.0,
+        time_scale: float = 1.0,
+        loop_period: Optional[float] = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        scaled = sorted(float(t) * time_scale for t in times)
+        if scaled and scaled[0] < 0:
+            raise ValueError(f"trace timestamps must be >= 0, got {scaled[0]}")
+        deduped = []
+        for t in scaled:
+            if not deduped or t > deduped[-1]:
+                deduped.append(t)
+        if loop_period is not None:
+            if not deduped:
+                raise ValueError("cannot loop an empty trace")
+            if loop_period <= deduped[-1]:
+                raise ValueError(
+                    f"loop_period {loop_period} must exceed the last scaled "
+                    f"timestamp {deduped[-1]}"
+                )
+        self.times = tuple(deduped)
+        self.offset = float(offset)
+        self.time_scale = float(time_scale)
+        self.loop_period = None if loop_period is None else float(loop_period)
+
+    def arrivals(self, rng: np.random.Generator, horizon: float) -> Tuple[float, ...]:
+        self._check_horizon(horizon)
+        out: list = []
+        base = self.offset
+        while True:
+            emitted = False
+            for t in self.times:
+                at = base + t
+                if at >= horizon:
+                    break
+                # Adding offsets can round two distinct trace times onto
+                # the same float; collapse those like construction-time
+                # duplicates to keep the output strictly increasing.
+                if not out or at > out[-1]:
+                    out.append(at)
+                emitted = True
+            if self.loop_period is None or not emitted:
+                break
+            base += self.loop_period
+        return tuple(out)
+
+
 #: name → constructor, for declarative scenario specs. Parameters are
-#: the constructor keywords (``interval``, ``rate``, ``base_rate`` ...).
+#: the constructor keywords (``interval``, ``rate``, ``base_rate``,
+#: ``peak_rate``, ``times`` ...).
 ARRIVAL_FAMILIES: Dict[str, Callable[..., ArrivalProcess]] = {
     "fixed": FixedIntervalProcess,
     "poisson": PoissonProcess,
     "bursty": BurstyProcess,
+    "diurnal": DiurnalProcess,
+    "flash-crowd": FlashCrowdProcess,
+    "trace": TraceReplayProcess,
 }
 
 
-def make_arrival_process(family: str, **params: float) -> ArrivalProcess:
+def make_arrival_process(family: str, **params) -> ArrivalProcess:
     """Instantiate an arrival process by family name.
 
     Raises:

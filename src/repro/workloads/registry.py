@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.resources.node import NodeClass
 from repro.sessions.policy import SessionPolicy
@@ -41,7 +41,8 @@ class ScenarioSpec:
             (:data:`~repro.workloads.arrivals.ARRIVAL_FAMILIES` key).
         arrival_params: Constructor keywords of the arrival process, as
             a tuple of ``(name, value)`` pairs (kept hashable so specs
-            stay frozen and ``replace``-able).
+            stay frozen and ``replace``-able; values are floats except
+            the ``trace`` family's ``times``, a tuple of floats).
         horizon: Observation window (simulated seconds).
         n_nodes: Total cluster size, requesters included.
         area: Square deployment area side (m).
@@ -59,7 +60,7 @@ class ScenarioSpec:
     families: Tuple[str, ...]
     n_requesters: int = 2
     arrival: str = "poisson"
-    arrival_params: Tuple[Tuple[str, float], ...] = (("rate", 1.0 / 40.0),)
+    arrival_params: Tuple[Tuple[str, Any], ...] = (("rate", 1.0 / 40.0),)
     horizon: float = 240.0
     n_nodes: int = 16
     area: float = 120.0
@@ -223,6 +224,17 @@ register(ScenarioSpec(
     n_requesters=3,
 ))
 
+#: The streaming churn policy the realistic-arrival scenarios share
+#: with ``streaming-mix`` (crash hazard 1/200 s, 30 J/s upkeep drain),
+#: so E21's arrival-shape comparison changes nothing but the arrivals.
+_STREAMING_POLICY = SessionPolicy(
+    operate=True,
+    keepalive=5.0,
+    max_renegotiations=2,
+    failure_rate=1.0 / 200.0,
+    drain=30.0,
+)
+
 register(ScenarioSpec(
     name="streaming-mix",
     description="4 mixed requesters streaming under crash + battery churn "
@@ -233,11 +245,46 @@ register(ScenarioSpec(
     area=130.0,
     radio_range=110.0,
     mix="contention",
-    sessions=SessionPolicy(
-        operate=True,
-        keepalive=5.0,
-        max_renegotiations=2,
-        failure_rate=1.0 / 200.0,
-        drain=30.0,
+    sessions=_STREAMING_POLICY,
+))
+
+register(ScenarioSpec(
+    name="diurnal-mix",
+    description="4 mixed requesters on a compressed diurnal arrival cycle, "
+                "streaming under churn (E21 sweeps shape × requester count)",
+    families=("movie", "speech", "sensor-fusion", "navigation"),
+    n_requesters=4,
+    n_nodes=20,
+    area=130.0,
+    radio_range=110.0,
+    mix="contention",
+    arrival="diurnal",
+    arrival_params=(
+        ("base_rate", 1.0 / 240.0),
+        ("peak_rate", 1.0 / 30.0),
+        ("period", 240.0),
+        ("phase", 0.0),
     ),
+    sessions=_STREAMING_POLICY,
+))
+
+register(ScenarioSpec(
+    name="flash-crowd",
+    description="4 mixed requesters hit by a flash crowd (linear onset at "
+                "t=80 s, exponential decay), streaming under churn",
+    families=("movie", "speech", "sensor-fusion", "navigation"),
+    n_requesters=4,
+    n_nodes=20,
+    area=130.0,
+    radio_range=110.0,
+    mix="contention",
+    arrival="flash-crowd",
+    arrival_params=(
+        ("base_rate", 1.0 / 240.0),
+        ("peak_rate", 1.0 / 8.0),
+        ("onset", 80.0),
+        ("rise", 10.0),
+        ("decay", 30.0),
+    ),
+    sessions=_STREAMING_POLICY,
 ))

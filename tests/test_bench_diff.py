@@ -50,7 +50,7 @@ def test_drift_beyond_tolerance_fails(tmp_path, capsys):
     new = write_bench(tmp_path / "b", means=(1.2, 2.0))
     assert bench_diff.main([str(old), str(new), "--rtol", "0.05"]) == 1
     err = capsys.readouterr().err
-    assert "regression(s) beyond tolerance" in err
+    assert "regression(s) beyond the noise band" in err
     assert "m1" in err
 
 
@@ -89,6 +89,67 @@ def test_summary_vs_raw_cell_mismatch_exits_2(tmp_path, capsys):
     assert bench_diff.main([str(old), str(new)]) == 2
     err = capsys.readouterr().err
     assert "summary only in old report" in err
+
+
+def write_bench_samples(root: Path, samples, wall: float = 1.0) -> Path:
+    """A one-point bench report whose single metric carries exactly the
+    given per-seed samples (for paired bootstrap-band tests)."""
+    table = Table("t", ["point", "m1"])
+    table.add_row("p0", describe(list(samples)))
+    seeds = tuple(range(1, len(samples) + 1))
+    record = new_run_record("EX", table, SweepConfig(seeds=seeds), wall)
+    return ResultsStore(root).write_bench(record)
+
+
+def test_bootstrap_band_accepts_within_noise_jitter(tmp_path, capsys):
+    """A drift whose paired per-seed differences straddle zero is
+    replication noise, not a regression — even with --rtol 0 semantics
+    (the band comes from the samples, not a hand-picked tolerance)."""
+    old = write_bench_samples(tmp_path / "a", [1.0, 2.0, 3.0, 4.0, 5.0])
+    new = write_bench_samples(tmp_path / "b", [1.3, 1.8, 3.2, 3.9, 5.0])
+    assert bench_diff.main([str(old), str(new), "--band", "bootstrap"]) == 0
+    out = capsys.readouterr().out
+    assert "noise band" in out
+    assert "ok: within the noise band" in out
+
+
+def test_bootstrap_band_rejects_real_regression(tmp_path, capsys):
+    """A consistent shift in every seed gives a degenerate paired
+    interval that excludes zero — flagged no matter how small."""
+    old = write_bench_samples(tmp_path / "a", [1.0, 2.0, 3.0, 4.0, 5.0])
+    new = write_bench_samples(tmp_path / "b", [1.05, 2.05, 3.05, 4.05, 5.05])
+    assert bench_diff.main([str(old), str(new), "--band", "bootstrap"]) == 1
+    err = capsys.readouterr().err
+    assert "excludes zero" in err
+
+
+def test_bootstrap_band_exact_on_identical_samples(tmp_path, capsys):
+    """Bit-identical cells pass exactly — deterministic metrics keep
+    their exact gate under the bootstrap band."""
+    old = write_bench_samples(tmp_path / "a", [1.0, 2.0, 3.0])
+    new = write_bench_samples(tmp_path / "b", [1.0, 2.0, 3.0])
+    assert bench_diff.main([str(old), str(new), "--band", "bootstrap"]) == 0
+    assert "all metric means identical" in capsys.readouterr().out
+
+
+def test_bootstrap_band_falls_back_without_samples(tmp_path, capsys):
+    """Schema-v1 reports (no per-seed samples) fall back to the rtol
+    rule per cell, with the fallback noted in the drift line."""
+    old = write_bench_samples(tmp_path / "a", [1.0, 2.0, 3.0])
+    new = write_bench_samples(tmp_path / "b", [1.3, 2.3, 3.3])
+    for path in (old, new):
+        data = json.loads(path.read_text())
+        for row in data["table"]["rows"]:
+            del row[1]["__summary__"]["samples"]
+        path.write_text(json.dumps(data))
+    assert bench_diff.main(
+        [str(old), str(new), "--band", "bootstrap", "--rtol", "0.5"]
+    ) == 0
+    assert "no samples, rtol rule" in capsys.readouterr().out
+    assert bench_diff.main(
+        [str(old), str(new), "--band", "bootstrap", "--rtol", "0.01",
+         "--no-ci-slack"]
+    ) == 1
 
 
 def test_incomparable_reports_exit_2(tmp_path, capsys):

@@ -3,21 +3,36 @@
 
 Compares an *old* (baseline) and a *new* bench report of the same suite
 and reports, per ``(sweep point, metric)`` cell, how far the new mean
-drifted from the old one — plus the wall-time change. Stdlib only, so
-it runs anywhere CI can run python::
+drifted from the old one — plus the wall-time change::
 
     python tools/bench_diff.py old/BENCH_E15.json new/BENCH_E15.json
     python tools/bench_diff.py a.json b.json --rtol 0 --wall-rtol 0.5
+    python tools/bench_diff.py a.json b.json --band bootstrap
 
-A metric cell **regresses** when the absolute mean drift exceeds the
-noise tolerance::
+Two noise bands decide what counts as a **regression**:
 
-    |new.mean - old.mean| > rtol * |old.mean| + atol + ci_slack
+* ``--band rtol`` (the default; stdlib only) — the historical rule::
 
-where ``ci_slack`` (on by default, disable with ``--no-ci-slack``) is
-the sum of the two cells' 95% CI half-widths — two runs whose intervals
-overlap that tightly are indistinguishable at the seed counts the
-suites use, so only drift beyond the combined noise trips the gate.
+      |new.mean - old.mean| > rtol * |old.mean| + atol + ci_slack
+
+  where ``ci_slack`` (on by default, disable with ``--no-ci-slack``) is
+  the sum of the two cells' 95% normal-approximation CI half-widths.
+
+* ``--band bootstrap`` — the statistically honest rule (needs the
+  ``repro`` package importable, for :mod:`repro.metrics.bootstrap`):
+  both reports carry per-seed ``samples`` in every summary cell and are
+  replicated over the *same* seed list, so the per-seed differences are
+  paired. The gate resamples those paired differences (``--resamples``
+  resamples, fixed ``--boot-seed``) into a two-sided ``1 - alpha``
+  percentile interval — the cell's own noise band. A cell regresses
+  when the band excludes zero (beyond ``--atol``): deterministic
+  ("exact") metrics have identical samples and pass trivially, any
+  consistent drift in them yields the degenerate band ``[c, c]`` and
+  fails, and noisy (timing-like) cells pass exactly when their drift is
+  statistically indistinguishable from replication noise — no
+  hand-picked tolerance anywhere. Cells missing samples (schema-v1
+  reports) fall back to the rtol rule and are flagged.
+
 Wall time is *reported* always but only *gated* when ``--wall-rtol`` is
 given (CI runners are too noisy to gate by default): a regression is
 ``new.wall > old.wall * (1 + wall_rtol)``.
@@ -94,6 +109,27 @@ def check_comparable(old: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
     return problems
 
 
+def _bootstrap_module():
+    """Import :mod:`repro.metrics.bootstrap`, falling back to the
+    checkout's ``src/`` tree next to this script (exit 2 if neither
+    works — the default rtol band stays stdlib-only)."""
+    try:
+        from repro.metrics import bootstrap
+        return bootstrap
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        try:
+            from repro.metrics import bootstrap
+            return bootstrap
+        except ImportError:
+            print(
+                "--band bootstrap needs the repro package importable "
+                "(pip install -e . or PYTHONPATH=src)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from None
+
+
 def diff_metrics(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -101,7 +137,7 @@ def diff_metrics(
     atol: float,
     ci_slack: bool,
 ) -> Tuple[List[str], List[str]]:
-    """(drift report lines, regression lines) over all summary cells."""
+    """(drift report lines, regression lines) under the rtol band."""
     old_cells = summary_cells(old)
     new_cells = summary_cells(new)
     lines: List[str] = []
@@ -125,6 +161,65 @@ def diff_metrics(
     return lines, regressions
 
 
+def diff_metrics_bootstrap(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    rtol: float,
+    atol: float,
+    ci_slack: bool,
+    alpha: float,
+    resamples: int,
+    boot_seed: int,
+) -> Tuple[List[str], List[str]]:
+    """(drift report lines, regression lines) under the bootstrap band.
+
+    Per drifted cell the line shows the paired-difference percentile
+    interval the decision is based on. Cells without per-seed samples
+    on both sides fall back to the rtol rule (flagged in the line).
+    """
+    bootstrap = _bootstrap_module()
+    old_cells = summary_cells(old)
+    new_cells = summary_cells(new)
+    lines: List[str] = []
+    regressions: List[str] = []
+    for key in old_cells:
+        a, b = old_cells[key], new_cells[key]
+        point, column = key
+        sa, sb = a.get("samples"), b.get("samples")
+        if sa is None or sb is None or len(sa) != len(sb):
+            # Schema-v1 report (or ragged cell): only means survive.
+            drift = abs(b["mean"] - a["mean"])
+            if drift == 0.0:
+                continue
+            allowed = rtol * abs(a["mean"]) + atol
+            if ci_slack:
+                allowed += a["ci_half_width"] + b["ci_half_width"]
+            line = (
+                f"  [{point}] {column}: {a['mean']:.6g} -> {b['mean']:.6g} "
+                f"(drift {drift:.3g}, allowed {allowed:.3g}; no samples, "
+                f"rtol rule)"
+            )
+            lines.append(line)
+            if drift > allowed:
+                regressions.append(line)
+            continue
+        if list(sa) == list(sb):
+            continue  # bit-identical cell: exact pass
+        ci = bootstrap.bootstrap_diff_ci(
+            sa, sb, alpha=alpha, n_resamples=resamples, seed=boot_seed
+        )
+        delta = b["mean"] - a["mean"]
+        line = (
+            f"  [{point}] {column}: {a['mean']:.6g} -> {b['mean']:.6g} "
+            f"(Δ {delta:+.3g}, {1 - alpha:.0%} noise band "
+            f"[{ci.lo:.3g}, {ci.hi:.3g}])"
+        )
+        lines.append(line)
+        if ci.lo > atol or ci.hi < -atol:
+            regressions.append(line + " excludes zero")
+    return lines, regressions
+
+
 def diff_wall_time(
     old: Dict[str, Any], new: Dict[str, Any], wall_rtol: Optional[float]
 ) -> Tuple[str, Optional[str]]:
@@ -142,13 +237,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python tools/bench_diff.py",
         description="Diff two BENCH_<suite>.json reports; exit 1 on metric "
                     "(or, with --wall-rtol, wall-time) regressions beyond "
-                    "the noise tolerance.",
+                    "the noise band.",
     )
     parser.add_argument("old", type=Path, help="baseline bench report")
     parser.add_argument("new", type=Path, help="candidate bench report")
     parser.add_argument(
+        "--band", choices=("rtol", "bootstrap"), default="rtol",
+        help="noise band deciding regressions: 'rtol' (relative drift + "
+             "CI slack, stdlib only) or 'bootstrap' (paired per-seed "
+             "percentile interval from the reports' samples; identical "
+             "samples pass exactly)",
+    )
+    parser.add_argument(
         "--rtol", type=float, default=0.05, metavar="FRAC",
-        help="relative mean-drift tolerance per metric (default 0.05)",
+        help="relative mean-drift tolerance per metric under --band rtol "
+             "(and the fallback for sample-less cells; default 0.05)",
     )
     parser.add_argument(
         "--atol", type=float, default=1e-9, metavar="ABS",
@@ -156,8 +259,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--no-ci-slack", action="store_true",
-        help="do not widen the tolerance by the two cells' 95%% CI "
+        help="do not widen the rtol tolerance by the two cells' 95%% CI "
              "half-widths (gate on raw drift only)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.05, metavar="A",
+        help="two-sided miss probability of the bootstrap noise band "
+             "(default 0.05 → 95%% interval)",
+    )
+    parser.add_argument(
+        "--resamples", type=int, default=10000, metavar="B",
+        help="bootstrap resamples for the noise band (default 10000)",
+    )
+    parser.add_argument(
+        "--boot-seed", type=int, default=1905, metavar="SEED",
+        help="seed of the deterministic resampling generator "
+             "(default 1905)",
     )
     parser.add_argument(
         "--wall-rtol", type=float, default=None, metavar="FRAC",
@@ -176,15 +293,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {problem}", file=sys.stderr)
         return 2
 
-    lines, regressions = diff_metrics(
-        old, new, rtol=args.rtol, atol=args.atol, ci_slack=not args.no_ci_slack
-    )
+    if args.band == "bootstrap":
+        lines, regressions = diff_metrics_bootstrap(
+            old, new, rtol=args.rtol, atol=args.atol,
+            ci_slack=not args.no_ci_slack, alpha=args.alpha,
+            resamples=args.resamples, boot_seed=args.boot_seed,
+        )
+    else:
+        lines, regressions = diff_metrics(
+            old, new, rtol=args.rtol, atol=args.atol,
+            ci_slack=not args.no_ci_slack,
+        )
     wall_line, wall_regression = diff_wall_time(old, new, args.wall_rtol)
     if wall_regression is not None:
         regressions.append(wall_regression)
 
     suite = old["suite"]
-    print(f"{suite}: {args.old} -> {args.new}")
+    print(f"{suite}: {args.old} -> {args.new} (band: {args.band})")
     print(wall_line)
     if lines:
         print(f"  {len(lines)} metric cell(s) drifted:")
@@ -193,12 +318,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         print("  all metric means identical")
     if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond tolerance:",
+        print(f"\n{len(regressions)} regression(s) beyond the noise band:",
               file=sys.stderr)
         for line in regressions:
             print(line, file=sys.stderr)
         return 1
-    print("ok: within tolerance")
+    print("ok: within the noise band")
     return 0
 
 
