@@ -92,6 +92,12 @@ from repro.agents import AgentSystem, OrganizerAgent, ProviderAgent
 from repro.core.operation import OperationReport
 from repro.metrics import outcome_utility
 from repro.sessions import Session, SessionDriver, SessionPolicy, SessionState
+from repro.shard import (
+    ShardedCluster,
+    ShardedDriver,
+    ShardGrid,
+    run_sharded_contention,
+)
 from repro.sim import Engine
 from repro.workloads import ContentionConfig, ContentionResult, run_contention
 
@@ -156,6 +162,11 @@ __all__ = [
     "ContentionConfig",
     "ContentionResult",
     "run_contention",
+    # shard
+    "ShardGrid",
+    "ShardedCluster",
+    "ShardedDriver",
+    "run_sharded_contention",
     # metrics / sim
     "outcome_utility",
     "Engine",

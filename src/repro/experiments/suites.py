@@ -59,6 +59,7 @@ from repro.resources.capacity import Capacity
 from repro.resources.kinds import ResourceKind
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
+from repro.experiments.shard_suites import e22_plan
 from repro.experiments.workload_suites import (
     e15_plan,
     e16_plan,
@@ -1201,6 +1202,7 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E19": e19_plan,
     "E20": e20_plan,
     "E21": e21_plan,
+    "E22": e22_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1225,6 +1227,7 @@ e18_scale_sweep = _table_suite(e18_plan, "e18_scale_sweep")
 e19_mobility_scale = _table_suite(e19_plan, "e19_mobility_scale")
 e20_streaming_sessions = _table_suite(e20_plan, "e20_streaming_sessions")
 e21_realistic_arrivals = _table_suite(e21_plan, "e21_realistic_arrivals")
+e22_shard_scale = _table_suite(e22_plan, "e22_shard_scale")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1249,4 +1252,5 @@ ALL_SUITES = {
     "E19": e19_mobility_scale,
     "E20": e20_streaming_sessions,
     "E21": e21_realistic_arrivals,
+    "E22": e22_shard_scale,
 }

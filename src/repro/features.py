@@ -9,7 +9,10 @@ tests can pin the legacy path and assert bit-identical results:
   the numpy adjacency/routing arena;
 * ``session-driver`` — :data:`repro.workloads.contention.USE_SESSION_DRIVER`,
   the event-driven streaming-session engine (configs with
-  ``sessions.operate=True`` fall back to admission-only when off).
+  ``sessions.operate=True`` fall back to admission-only when off);
+* ``shard`` — :data:`repro.shard.cluster.USE_SHARDING`, the spatially-
+  partitioned cluster shards with gateway routing (clusters collapse to
+  one shard when off).
 
 This module is the one place that knows where those booleans live.
 Switches keep living in their owning modules (existing tests
@@ -25,7 +28,9 @@ object or run**, never mid-flight:
 * ``batch-evaluation`` at :func:`~repro.core.negotiation.negotiate`
   entry (one negotiation scores all its tasks down one path);
 * ``session-driver`` at :func:`~repro.workloads.run_contention` entry
-  (one run is all-driver or all-legacy).
+  (one run is all-driver or all-legacy);
+* ``shard`` at :class:`~repro.shard.ShardedCluster` construction
+  (matching ``vector-topology``'s construction-time snapshot).
 
 Flipping a switch therefore affects the *next* object/run, which is
 what makes :func:`override` safe to wrap around a whole experiment.
@@ -84,6 +89,14 @@ FEATURES: Dict[str, FeatureSwitch] = {
             attribute="USE_SESSION_DRIVER",
             description="event-driven streaming-session engine "
                         "(snapshot per run_contention() run)",
+        ),
+        FeatureSwitch(
+            name="shard",
+            module="repro.shard.cluster",
+            attribute="USE_SHARDING",
+            description="spatially-partitioned cluster shards with "
+                        "gateway routing (snapshot per ShardedCluster "
+                        "construction; off = one shard)",
         ),
     )
 }

@@ -45,7 +45,7 @@ import networkx as nx
 import numpy as np
 
 from repro.errors import NotConnectedError, UnknownNodeError
-from repro.network.geometry import pairwise_distances, position_array
+from repro.network.geometry import _APPROX_MARGIN, exact_distances, pairwise_distances, position_array
 from repro.network.radio import RadioModel
 from repro.resources.node import Node
 
@@ -55,6 +55,14 @@ from repro.resources.node import Node
 #: ``True`` outside of those A/B comparisons. Read at construction time:
 #: each :class:`Topology` instance snapshots the flag in ``__init__``.
 USE_VECTOR_TOPOLOGY = True
+
+#: Per-epoch cache bounds. Long mobility runs at thousands of nodes query
+#: routes for an ever-changing working set; unbounded memoization would
+#: grow with (epochs x pairs). Within one epoch the caches evict in FIFO
+#: insertion order once full — correctness is unaffected (entries are pure
+#: memoization), only the hit rate degrades past these sizes.
+ROUTE_CACHE_MAX = 65536
+BFS_CACHE_MAX = 1024
 
 
 class Topology:
@@ -78,6 +86,7 @@ class Topology:
         self._adj = np.zeros((0, 0), dtype=bool)
         self._bw = np.zeros((0, 0), dtype=np.float64)
         self._loss = np.zeros((0, 0), dtype=np.float64)
+        self._dist: Optional[np.ndarray] = None
         self._edge_count = 0
         self._removed_since_rebuild = False
         # -- per-epoch caches, built lazily on first query ----------------
@@ -186,17 +195,93 @@ class Topology:
             self._adj = np.zeros((m, m), dtype=bool)
             self._bw = np.zeros((m, m), dtype=np.float64)
             self._loss = np.ones((m, m), dtype=np.float64)
+            self._dist = None
             self._edge_count = 0
             return
         dist = pairwise_distances(
             self.positions, exact_within=self.radio.matrix_distance_cutoff
         )
+        self._dist = dist
         adj = np.asarray(self.radio.in_range_matrix(dist), dtype=bool)
         np.fill_diagonal(adj, False)
         self._adj = adj
         self._bw = np.asarray(self.radio.bandwidth_matrix(dist), dtype=np.float64)
         self._loss = np.asarray(self.radio.loss_matrix(dist), dtype=np.float64)
         self._edge_count = int(np.count_nonzero(adj)) // 2
+
+    def update_positions(self, moved: Sequence[str]) -> None:
+        """Delta rebuild: refresh edges touching only the ``moved`` nodes.
+
+        Mobility ticks typically move a handful of nodes between
+        rebuilds; recomputing the full O(n²) distance/adjacency matrices
+        for k movers wastes n/k of the work. This recomputes just the
+        distance-matrix rows (and mirrored columns) of the moved nodes —
+        with the exact-within-cutoff rule of
+        :func:`repro.network.geometry.pairwise_distances` applied per
+        row, so the arena ends up **bit-identical** to a full
+        :meth:`rebuild` — then re-evaluates the radio model on those rows
+        and bumps the epoch.
+
+        Falls back to a full :meth:`rebuild` whenever the delta
+        assumptions do not hold: legacy mode, membership or liveness
+        changes since the last rebuild (the arena rows no longer line up),
+        or an arena too small to have a distance matrix.
+        """
+        alive_ids = tuple(n.node_id for n in self._nodes.values() if n.alive)
+        if (
+            not self._vectorized
+            or self._dist is None
+            or self._removed_since_rebuild
+            or alive_ids != self._arena_ids
+        ):
+            self.rebuild()
+            return
+        rows = sorted({self._index[nid] for nid in moved if nid in self._index})
+        if not rows:
+            # Nothing in the arena moved; a no-op delta must still act
+            # like a rebuild for cache invalidation purposes.
+            self._bump_epoch()
+            self._graph = None
+            return
+        pos = self.positions
+        for nid, i in ((nid, self._index[nid]) for nid in moved if nid in self._index):
+            p = self._nodes[nid].position
+            pos[i, 0] = p[0]
+            pos[i, 1] = p[1]
+        cutoff = self.radio.matrix_distance_cutoff
+        dist = self._dist
+        for i in rows:
+            dx = pos[i, 0] - pos[:, 0]
+            dy = pos[i, 1] - pos[:, 1]
+            row = np.sqrt(dx * dx + dy * dy)
+            if cutoff is None:
+                need = np.ones(row.shape, dtype=bool)
+            else:
+                need = row <= cutoff * (1.0 + _APPROX_MARGIN)
+            need[i] = False  # diagonal is exactly 0.0 already
+            jj = np.nonzero(need)[0]
+            if jj.size:
+                # hypot(-dx, -dy) == hypot(dx, dy) bit for bit, so the
+                # mirrored column entries equal what a full rebuild's
+                # upper-triangle pass would have produced.
+                row[jj] = exact_distances(dx[jj], dy[jj])
+            dist[i, :] = row
+            dist[:, i] = row
+        sub = dist[rows, :]
+        adj_rows = np.asarray(self.radio.in_range_matrix(sub), dtype=bool)
+        bw_rows = np.asarray(self.radio.bandwidth_matrix(sub), dtype=np.float64)
+        loss_rows = np.asarray(self.radio.loss_matrix(sub), dtype=np.float64)
+        for k, i in enumerate(rows):
+            adj_rows[k, i] = False
+            self._adj[i, :] = adj_rows[k]
+            self._adj[:, i] = adj_rows[k]
+            self._bw[i, :] = bw_rows[k]
+            self._bw[:, i] = bw_rows[k]
+            self._loss[i, :] = loss_rows[k]
+            self._loss[:, i] = loss_rows[k]
+        self._edge_count = int(np.count_nonzero(self._adj)) // 2
+        self._bump_epoch()
+        self._graph = None
 
     def _legacy_rebuild(self) -> None:
         """The original O(n²) pure-Python rebuild (A/B reference path)."""
@@ -379,6 +464,8 @@ class Topology:
                         seen.add(w)
                         nextlevel.append(w)
                         order.append((w, level))
+        if len(self._bfs) >= BFS_CACHE_MAX:
+            self._bfs.pop(next(iter(self._bfs)))
         self._bfs[source] = order
         return order
 
@@ -412,6 +499,8 @@ class Topology:
         if key in self._routes:
             return self._routes[key]
         route = self._bidirectional_dijkstra(a, b)
+        if len(self._routes) >= ROUTE_CACHE_MAX:
+            self._routes.pop(next(iter(self._routes)))
         self._routes[key] = route
         return route
 
@@ -516,6 +605,8 @@ class Topology:
             for u, v in zip(route, route[1:]):
                 total += self._hop_cost(u, v)
         if self._vectorized:
+            if len(self._route_costs) >= ROUTE_CACHE_MAX:
+                self._route_costs.pop(next(iter(self._route_costs)))
             self._route_costs[(a, b)] = total
         return total
 

@@ -1,0 +1,226 @@
+"""Read-only table sharing across scheduler workers.
+
+The shared work-queue scheduler (:mod:`repro.experiments.parallel`)
+forks its workers, so anything the parent computed before the fork is
+inherited copy-on-write. That already avoids *re-deriving* read-only
+tables per process — but only by accident of the fork start method, and
+pages get duplicated as soon as Python's reference counting touches the
+objects. This module makes the sharing explicit and start-method-proof:
+
+* :func:`publish` pins a named bundle of numpy arrays either into a
+  ``multiprocessing.shared_memory`` segment (``backend="shm"``: one
+  mapping shared by every attached process, refcounting touches only
+  the tiny view objects) or into an in-process registry
+  (``backend="fork"``: plain fork-page reuse, the fallback when the
+  platform offers no ``/dev/shm``-style segments);
+* :func:`attach` resolves the bundle by name — a dictionary hit in the
+  publishing process and its forked children, a by-name segment attach
+  from any other process (shm backend only);
+* every array comes back with ``writeable=False``: these are tables,
+  not mailboxes — workers mutate their own cheap per-run objects
+  (nodes, providers) built *from* the tables.
+
+Segment layout (shm backend): an 8-byte little-endian header length,
+a JSON header mapping ``key -> [dtype, shape, offset, nbytes]``, then
+the raw array bytes back to back. The layout is self-describing, so
+:func:`attach` needs nothing but the name.
+
+The E22 plan builder publishes per-seed fleet/placement tables once in
+the parent; every ``(point, seed)`` replication attaches instead of
+re-drawing them (see :func:`repro.shard.driver.fleet_tables`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import re
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic builds only
+    _shm = None
+
+#: In-process bundle registry. Forked workers inherit it, which is the
+#: whole point of the ``fork`` backend — and an O(1) fast path for the
+#: ``shm`` backend inside the publishing process tree.
+_REGISTRY: Dict[str, "SharedTables"] = {}
+
+_NAME_RE = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def _segment_name(name: str) -> str:
+    """A platform-safe shared-memory segment name for a bundle name."""
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+@dataclass
+class SharedTables:
+    """A named bundle of read-only numpy tables.
+
+    Iteration and ``[]`` give read-only views; ``backend`` reports how
+    the bytes are shared (``"shm"`` or ``"fork"``).
+    """
+
+    name: str
+    backend: str
+    _arrays: Dict[str, np.ndarray]
+    _segment: Optional[object] = None
+    #: PID that owns the segment; forked children inherit the bundle but
+    #: must never unlink it out from under the parent.
+    _owner_pid: int = field(default=-1)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._arrays
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._arrays)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def close(self, unlink: bool = False) -> None:
+        """Detach from the segment; ``unlink=True`` (owner only)
+        destroys it. Fork-backend bundles just drop their arrays."""
+        self._arrays = {}
+        segment = self._segment
+        self._segment = None
+        if segment is not None:
+            try:
+                segment.close()
+                if unlink and self._owner_pid == os.getpid():
+                    segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+
+
+def _freeze(arrays: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {}
+    for key, arr in arrays.items():
+        frozen = np.ascontiguousarray(arr)
+        if frozen is arr:
+            frozen = arr.view()
+        frozen.flags.writeable = False
+        out[key] = frozen
+    return out
+
+
+def _pack(arrays: Mapping[str, np.ndarray]) -> Tuple[bytes, Dict[str, np.ndarray]]:
+    """Serialize arrays into (segment bytes, per-key contiguous copies)."""
+    header: Dict[str, list] = {}
+    contiguous: Dict[str, np.ndarray] = {}
+    offset = 0
+    for key, arr in arrays.items():
+        c = np.ascontiguousarray(arr)
+        contiguous[key] = c
+        header[key] = [c.dtype.str, list(c.shape), offset, c.nbytes]
+        offset += c.nbytes
+    head = json.dumps(header).encode("utf-8")
+    return struct.pack("<Q", len(head)) + head, contiguous
+
+
+def publish(
+    name: str,
+    arrays: Mapping[str, np.ndarray],
+    backend: str = "auto",
+) -> SharedTables:
+    """Publish a read-only table bundle under ``name``.
+
+    Re-publishing a name replaces the previous bundle (the old segment
+    is unlinked). ``backend="auto"`` prefers ``shm`` and falls back to
+    fork-page reuse when segments cannot be created.
+    """
+    if backend not in ("auto", "shm", "fork"):
+        raise ValueError(f"unknown sharedmem backend {backend!r}")
+    release(name)
+    if backend in ("auto", "shm") and _shm is not None:
+        try:
+            head, contiguous = _pack(arrays)
+            total = len(head) + sum(c.nbytes for c in contiguous.values())
+            segment = _shm.SharedMemory(
+                name=_segment_name(name), create=True, size=max(total, 1)
+            )
+            segment.buf[: len(head)] = head
+            offset = len(head)
+            views: Dict[str, np.ndarray] = {}
+            for key, c in contiguous.items():
+                view = np.ndarray(
+                    c.shape, dtype=c.dtype, buffer=segment.buf, offset=offset
+                )
+                view[...] = c
+                view.flags.writeable = False
+                views[key] = view
+                offset += c.nbytes
+            bundle = SharedTables(
+                name=name, backend="shm", _arrays=views,
+                _segment=segment, _owner_pid=os.getpid(),
+            )
+            _REGISTRY[name] = bundle
+            return bundle
+        except OSError:
+            if backend == "shm":
+                raise
+    bundle = SharedTables(name=name, backend="fork", _arrays=_freeze(arrays))
+    _REGISTRY[name] = bundle
+    return bundle
+
+
+def attach(name: str) -> SharedTables:
+    """Resolve a published bundle: registry hit in the publishing
+    process tree (fork-page reuse), by-name segment attach elsewhere."""
+    bundle = _REGISTRY.get(name)
+    if bundle is not None:
+        return bundle
+    if _shm is None:
+        raise KeyError(f"no published tables named {name!r}")
+    try:
+        segment = _shm.SharedMemory(name=_segment_name(name))
+    except FileNotFoundError:
+        raise KeyError(f"no published tables named {name!r}") from None
+    (head_len,) = struct.unpack("<Q", bytes(segment.buf[:8]))
+    header = json.loads(bytes(segment.buf[8 : 8 + head_len]).decode("utf-8"))
+    base = 8 + head_len
+    views: Dict[str, np.ndarray] = {}
+    for key, (dtype, shape, offset, _nbytes) in header.items():
+        view = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype),
+            buffer=segment.buf, offset=base + offset,
+        )
+        view.flags.writeable = False
+        views[key] = view
+    bundle = SharedTables(
+        name=name, backend="shm", _arrays=views, _segment=segment,
+    )
+    _REGISTRY[name] = bundle
+    return bundle
+
+
+def release(name: str) -> None:
+    """Drop a published bundle (unlinking its segment if owned)."""
+    bundle = _REGISTRY.pop(name, None)
+    if bundle is not None:
+        bundle.close(unlink=True)
+
+
+def published() -> Tuple[str, ...]:
+    """Names currently registered in this process."""
+    return tuple(_REGISTRY)
+
+
+@atexit.register
+def _cleanup() -> None:  # pragma: no cover - exercised at interpreter exit
+    for name in list(_REGISTRY):
+        release(name)

@@ -370,6 +370,30 @@ def run_contention(
         cluster, config.n_requesters, registry
     )
 
+    events, family_of = merge_arrival_events(config, registry)
+
+    # Snapshot the feature switch once: a run is all-driver or
+    # all-legacy, never mixed.
+    if config.sessions.operate and USE_SESSION_DRIVER:
+        return _run_streaming(
+            config, registry, topology, providers, nodes, events, family_of
+        )
+    return _run_admission_only(config, topology, providers, events, family_of)
+
+
+def merge_arrival_events(
+    config: ContentionConfig, registry: RngRegistry
+) -> Tuple[List[Tuple[float, int, int]], Dict[int, str]]:
+    """Draw every requester's arrival stream and merge the events.
+
+    Returns the time-sorted ``(t, requester, ordinal)`` events plus the
+    requester → service-family map. The one home of the per-requester
+    ``arrivals:req<k>`` stream consumption, shared by
+    :func:`run_contention` and the sharded runner
+    (:func:`repro.shard.driver.run_sharded_contention`) — both paths
+    must consume the streams identically for the shard-vs-unsharded
+    bit-identity pin to hold.
+    """
     family_of = {
         k: config.families[k % len(config.families)]
         for k in range(config.n_requesters)
@@ -382,14 +406,7 @@ def run_contention(
         )
         events.extend((t, k, i) for i, t in enumerate(times))
     events.sort()
-
-    # Snapshot the feature switch once: a run is all-driver or
-    # all-legacy, never mixed.
-    if config.sessions.operate and USE_SESSION_DRIVER:
-        return _run_streaming(
-            config, registry, topology, providers, nodes, events, family_of
-        )
-    return _run_admission_only(config, topology, providers, events, family_of)
+    return events, family_of
 
 
 def _session_service(family: str, k: int, ordinal: int):
@@ -460,11 +477,18 @@ def _run_streaming(
     nodes: List[Node],
     events: List[Tuple[float, int, int]],
     family_of: Dict[int, str],
+    driver_cls: type = SessionDriver,
 ) -> ContentionResult:
     """The streaming mode: every admitted coalition's operation phase
-    runs on a shared engine, interleaved with later admissions."""
+    runs on a shared engine, interleaved with later admissions.
+
+    ``driver_cls`` is the seam the sharded runner uses to substitute
+    :class:`repro.shard.driver.ShardedDriver` (same lifecycle, delta
+    topology maintenance) without duplicating this orchestration; the
+    RNG stream consumption below is identical for every driver class.
+    """
     policy = config.sessions
-    driver = SessionDriver(topology, providers, policy, engine=Engine())
+    driver = driver_cls(topology, providers, policy, engine=Engine())
 
     # Crash churn: one exponential time-to-crash per helper node, in
     # fleet order, from the run's own "failures" stream (independent of

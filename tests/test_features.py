@@ -10,13 +10,14 @@ import repro.workloads.contention as contention
 
 def test_registry_names_and_defaults():
     assert set(features.FEATURES) == {
-        "batch-evaluation", "vector-topology", "session-driver",
+        "batch-evaluation", "vector-topology", "session-driver", "shard",
     }
     # Every fast path ships enabled.
     assert features.snapshot() == {
         "batch-evaluation": True,
         "vector-topology": True,
         "session-driver": True,
+        "shard": True,
     }
 
 

@@ -25,6 +25,21 @@ Phases are attributed by module/function (cumulative time):
 * **setup** — fleet/topology/agent construction
   (``repro.experiments.scenario`` + topology rebuilds).
 
+With ``--shards`` the profiled workload is the **sharded streaming
+run** instead (:func:`repro.shard.run_sharded_contention` on an
+E22-style constant-density config at the chosen node counts), and two
+shard-specific buckets join the breakdown:
+
+* **gateway-routing** — gateway election and cross-shard
+  stitched routing (``ShardedCluster.gateway`` / ``multihop_cost`` /
+  ``shortest_route``);
+* **delta-rebuild** — the mobility-tick incremental arena updates
+  (``Topology.update_positions`` under
+  ``ShardedCluster.advance_mobility``).
+
+Phase fragments may pin a function with ``path::function`` — the row
+must match both the file path and the function name.
+
 Cumulative percentages can overlap (phases nest inside the engine loop)
 — read them as "share of profiled time spent under this subsystem", not
 as a partition. The full optimization story lives in
@@ -45,7 +60,8 @@ from typing import Any, Dict, List, Optional
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-#: Phase name -> path fragments whose cumulative time it aggregates.
+#: Phase name -> fragments whose cumulative time it aggregates. A plain
+#: fragment matches the file path; ``path::function`` pins one function.
 PHASES = {
     "formulation": ("repro/core/formulation.py",),
     "evaluation": ("repro/core/evaluation.py", "repro/core/selection.py"),
@@ -53,6 +69,27 @@ PHASES = {
     "topology": ("repro/network/topology.py", "repro/network/geometry.py"),
     "setup": ("repro/experiments/scenario.py",),
 }
+
+#: The --shards breakdown: the streaming-session engine plus the two
+#: buckets the sharded path adds (cross-shard routing, delta rebuilds).
+SHARD_PHASES = {
+    "formulation": ("repro/core/formulation.py",),
+    "evaluation": ("repro/core/evaluation.py", "repro/core/selection.py"),
+    "sessions": ("repro/sessions/",),
+    "topology": ("repro/network/topology.py", "repro/network/geometry.py"),
+    "gateway-routing": (
+        "repro/shard/cluster.py::gateway",
+        "repro/shard/cluster.py::multihop_cost",
+        "repro/shard/cluster.py::shortest_route",
+        "repro/shard/cluster.py::communication_cost",
+    ),
+    "delta-rebuild": (
+        "repro/shard/cluster.py::advance_mobility",
+        "repro/network/topology.py::update_positions",
+    ),
+    "shard-rebuild": ("repro/shard/cluster.py::rebuild",),
+}
+
 
 def run_once(n_nodes: int, seed: int) -> float:
     """One E4-scenario negotiation; returns the wall time in seconds."""
@@ -72,7 +109,31 @@ def run_once(n_nodes: int, seed: int) -> float:
     return elapsed
 
 
-def phase_breakdown(stats: pstats.Stats) -> Dict[str, float]:
+def run_once_sharded(n_nodes: int, seed: int) -> float:
+    """One sharded streaming run (the E22 regime at this node count);
+    returns the wall time in seconds."""
+    from repro.experiments.shard_suites import _e22_config
+    from repro.shard import run_sharded_contention
+
+    config = _e22_config(n_nodes, horizon=120.0)
+    start = time.perf_counter()
+    result = run_sharded_contention(seed, config)
+    elapsed = time.perf_counter() - start
+    if result.offered() <= 0:
+        raise RuntimeError(f"sharded run offered no sessions (n={n_nodes}, seed={seed})")
+    return elapsed
+
+
+def _fragment_matches(fragment: str, path: str, fn: str) -> bool:
+    if "::" in fragment:
+        path_part, func_part = fragment.split("::", 1)
+        return path_part in path and fn == func_part
+    return fragment in path
+
+
+def phase_breakdown(
+    stats: pstats.Stats, phase_map: Dict[str, tuple] = PHASES
+) -> Dict[str, float]:
     """Per-phase cumulative seconds, from the profile's per-function rows.
 
     For each phase the *maximum* cumtime among its matching functions is
@@ -80,35 +141,40 @@ def phase_breakdown(stats: pstats.Stats) -> Dict[str, float]:
     cumtimes, so the max approximates "time under this subsystem" without
     double-counting nested frames.
     """
-    best: Dict[str, float] = {name: 0.0 for name in PHASES}
-    for (filename, _lineno, _fn), (_cc, _nc, _tt, ct, _callers) in stats.stats.items():
+    best: Dict[str, float] = {name: 0.0 for name in phase_map}
+    for (filename, _lineno, fn), (_cc, _nc, _tt, ct, _callers) in stats.stats.items():
         path = filename.replace("\\", "/")
-        for phase, fragments in PHASES.items():
-            if any(fragment in path for fragment in fragments):
+        for phase, fragments in phase_map.items():
+            if any(_fragment_matches(f, path, fn) for f in fragments):
                 best[phase] = max(best[phase], ct)
     return best
 
 
-def profile_scale(n_nodes: int, seeds: List[int], top: int) -> Dict[str, Any]:
+def profile_scale(
+    n_nodes: int, seeds: List[int], top: int, shards: bool = False
+) -> Dict[str, Any]:
     """Wall times + profile summary for one node count."""
-    walls = [run_once(n_nodes, seed) for seed in seeds]
+    runner = run_once_sharded if shards else run_once
+    walls = [runner(n_nodes, seed) for seed in seeds]
 
     profiler = cProfile.Profile()
     profiler.enable()
     for seed in seeds:
-        run_once(n_nodes, seed)
+        runner(n_nodes, seed)
     profiler.disable()
     stats = pstats.Stats(profiler)
     total = stats.total_tt
-    phases = phase_breakdown(stats)
+    phases = phase_breakdown(stats, SHARD_PHASES if shards else PHASES)
 
-    print(f"\n== {n_nodes} nodes ({len(seeds)} seed(s)) ==")
+    kind = "sharded streaming run" if shards else "negotiation"
+    print(f"\n== {n_nodes} nodes ({len(seeds)} seed(s), {kind}) ==")
     print(f"  wall time per negotiation: mean {sum(walls) / len(walls) * 1e3:.1f} ms "
           f"(min {min(walls) * 1e3:.1f}, max {max(walls) * 1e3:.1f})")
     print(f"  profiled time: {total:.3f} s; per-phase share (cumulative, may overlap):")
+    width = max(len(name) for name in phases)
     for phase, seconds in phases.items():
         share = 100.0 * seconds / total if total > 0 else 0.0
-        print(f"    {phase:>12}: {seconds:7.3f} s  ({share:5.1f} %)")
+        print(f"    {phase:>{width}}: {seconds:7.3f} s  ({share:5.1f} %)")
     if top > 0:
         print(f"  top {top} functions by internal time:")
         stats.sort_stats("tottime")
@@ -118,6 +184,7 @@ def profile_scale(n_nodes: int, seeds: List[int], top: int) -> Dict[str, Any]:
             print(f"    {row.tottime:8.3f}s  {row.ncalls:>10}  {name}")
     return {
         "nodes": n_nodes,
+        "workload": "sharded-streaming" if shards else "negotiation",
         "seeds": seeds,
         "wall_s": walls,
         "wall_mean_s": sum(walls) / len(walls),
@@ -149,6 +216,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=None, metavar="FILE",
         help="write the run summary as JSON (for CI artifacts)",
     )
+    parser.add_argument(
+        "--shards", action="store_true",
+        help="profile the sharded streaming run (repro.shard, E22 "
+             "regime) instead of the single negotiation, with "
+             "gateway-routing and delta-rebuild phase buckets",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -165,7 +238,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     seeds = list(range(1, args.seeds + 1))
-    summary = [profile_scale(n, seeds, args.top) for n in node_counts]
+    summary = [
+        profile_scale(n, seeds, args.top, shards=args.shards)
+        for n in node_counts
+    ]
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(summary, indent=2) + "\n")
