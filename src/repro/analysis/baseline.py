@@ -1,0 +1,167 @@
+"""Committed baselines: grandfathered findings that don't fail the gate.
+
+A baseline lets the linter land as a **blocking** CI gate on day one:
+pre-existing findings that are deliberate (with a recorded reason) are
+committed to a JSON file and subtracted from every run, while anything
+*new* still fails. Fingerprints hash ``rule | path | enclosing scope |
+stripped source line`` — not the line number — so entries survive
+unrelated edits elsewhere in the file; identical lines in one scope are
+handled as a multiset (one entry absorbs one finding).
+
+Workflow::
+
+    python tools/lint_repro.py --update-baseline   # grandfather now
+    # …edit tools/lint_baseline.json, replacing each "reason"…
+    python tools/lint_repro.py                     # clean, gate is live
+
+Stale entries (the finding they matched was fixed) are reported so the
+baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.rules.base import Finding
+
+BASELINE_VERSION = 1
+
+#: Reason recorded by ``--update-baseline`` until a human replaces it.
+DEFAULT_REASON = "grandfathered (replace with the real reason)"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-independent identity of a finding (16 hex chars)."""
+    payload = "|".join(
+        (finding.rule, finding.path, finding.context, finding.snippet)
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    context: str
+    snippet: str
+    reason: str
+
+
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                fingerprint=item["fingerprint"],
+                rule=item["rule"],
+                path=item["path"],
+                context=item["context"],
+                snippet=item["snippet"],
+                reason=item["reason"],
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "context": entry.context,
+                    "snippet": entry.snippet,
+                    "reason": entry.reason,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        path.write_text(json.dumps(data, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Grandfather every current finding (``--update-baseline``).
+
+        Reasons of entries that already existed should be carried over
+        by the caller via :meth:`merge_reasons`.
+        """
+        return cls(
+            [
+                BaselineEntry(
+                    fingerprint=fingerprint(finding),
+                    rule=finding.rule,
+                    path=finding.path,
+                    context=finding.context,
+                    snippet=finding.snippet,
+                    reason=DEFAULT_REASON,
+                )
+                for finding in findings
+            ]
+        )
+
+    def merge_reasons(self, previous: "Baseline") -> None:
+        """Keep the human-written reasons of entries that persist."""
+        reasons: Dict[str, str] = {
+            entry.fingerprint: entry.reason for entry in previous.entries
+        }
+        for entry in self.entries:
+            kept = reasons.get(entry.fingerprint)
+            if kept is not None:
+                entry.reason = kept
+
+    # -- matching ------------------------------------------------------------
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (new, baselined); also report stale entries.
+
+        Matching is a multiset consume: each baseline entry absorbs at
+        most one finding with its fingerprint, so adding a *second*
+        identical violation next to a grandfathered one still fails.
+        """
+        budget: Dict[str, int] = {}
+        for entry in self.entries:
+            budget[entry.fingerprint] = budget.get(entry.fingerprint, 0) + 1
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            fp = fingerprint(finding)
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale: List[str] = []
+        for entry in self.entries:
+            if budget.get(entry.fingerprint, 0) > 0:
+                budget[entry.fingerprint] -= 1
+                stale.append(
+                    f"{entry.path} [{entry.rule}] {entry.snippet!r} ({entry.reason})"
+                )
+        return new, grandfathered, stale

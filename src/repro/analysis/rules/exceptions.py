@@ -1,0 +1,58 @@
+"""R4 — blanket-except: no ``except Exception:`` / bare ``except:``.
+
+A blanket handler absorbs the library's own contract violations
+(:class:`~repro.errors.ReproError` subclasses signalling real invariant
+breaks — capacity accounting drift, unknown nodes, illegal session
+transitions) along with the narrow condition the author meant to
+tolerate, turning determinism bugs into silently wrong tables. Every
+handler must name the specific exception types it intends to absorb;
+``except BaseException`` relays (e.g. the worker-to-parent exception
+pipe in ``repro.experiments.parallel``) are deliberate and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Finding, ModuleContext, Rule
+
+
+def _names_exception(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "Exception"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "Exception"
+    if isinstance(node, ast.Tuple):
+        return any(_names_exception(elt) for elt in node.elts)
+    return False
+
+
+class BlanketExceptRule(Rule):
+    id = "R4"
+    name = "blanket-except"
+    rationale = (
+        "bare except / except Exception absorbs ReproError contract "
+        "violations with the condition actually being tolerated"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self,
+                    node,
+                    "bare except: absorbs everything including "
+                    "KeyboardInterrupt; name the exception types this "
+                    "handler intends to tolerate",
+                )
+            elif _names_exception(node.type):
+                yield module.finding(
+                    self,
+                    node,
+                    "except Exception: absorbs the library's ReproError "
+                    "contract violations; narrow to the specific types "
+                    "this handler intends to tolerate",
+                )

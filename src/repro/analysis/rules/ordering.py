@@ -1,0 +1,187 @@
+"""R3 — unordered-iteration: no hash-ordered iteration in simulation code.
+
+Iterating a ``set``/``frozenset`` visits elements in hash order, which
+for strings varies with ``PYTHONHASHSEED`` and insertion history — the
+classic source of run-to-run drift that replaying a handful of CI seeds
+cannot catch (string hashing is randomized per *process*, so serial
+vs. forked-parallel runs can disagree). The sanctioned form is
+``sorted(...)`` (or any explicit canonical order) at the iteration
+site. ``dict.keys()`` views are flagged as the marker pattern for the
+same audit: iterate the dict directly when insertion order is the
+deterministic order you mean, or ``sorted(d)`` when it must be
+canonical — a bare ``.keys()`` iteration obscures which of the two the
+author intended.
+
+Sets whose elements are provably ints (literals, ``set(range(...))``)
+are exempt: CPython small-int hashing is value-stable, and the repo's
+int-keyed sets (node indices) are constructed deterministically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.rules.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    body_nodes,
+    function_bodies,
+)
+
+#: Builtins whose call result preserves the argument's iteration order.
+_ORDER_PRESERVING_CALLS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+#: Annotation names that mark a variable as a set.
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet", "MutableSet"})
+
+
+def _is_int_only_set(node: ast.expr) -> bool:
+    """Whether a set expression provably holds only ints."""
+    if isinstance(node, ast.Set):
+        return all(
+            isinstance(elt, ast.Constant) and type(elt.value) is int for elt in node.elts
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset") and len(node.args) == 1:
+            arg = node.args[0]
+            if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name):
+                return arg.func.id == "range"
+    return False
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):  # Set[str], set[str]
+        target = target.value
+    if isinstance(target, ast.Attribute):  # typing.Set
+        return target.attr in _SET_ANNOTATIONS
+    return isinstance(target, ast.Name) and target.id in _SET_ANNOTATIONS
+
+
+class UnorderedIterationRule(Rule):
+    id = "R3"
+    name = "unordered-iteration"
+    rationale = (
+        "set/frozenset iteration is hash-ordered (and .keys() hides the "
+        "intended order); wrap in sorted(...) or iterate the dict itself"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        # Module level and each function body are independent scopes for
+        # the set-typed-name inference.
+        yield from self._check_scope(module, module.tree, top_level=True)
+        for scope, _name in function_bodies(module.tree):
+            yield from self._check_scope(module, scope, top_level=False)
+
+    def _check_scope(
+        self, module: ModuleContext, scope: ast.AST, top_level: bool
+    ) -> Iterator[Finding]:
+        nodes = list(self._scope_nodes(scope, top_level))
+        set_names = self._infer_unordered_names(nodes)
+        for node in nodes:
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in _ORDER_PRESERVING_CALLS and node.args:
+                    iters.append(node.args[0])
+            for expr in iters:
+                finding = self._classify(module, expr, set_names)
+                if finding is not None:
+                    yield finding
+
+    @staticmethod
+    def _scope_nodes(scope: ast.AST, top_level: bool) -> Iterator[ast.AST]:
+        if top_level:
+            # Module scope: every node outside any function body.
+            stack = list(ast.iter_child_nodes(scope))
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                yield node
+                stack.extend(ast.iter_child_nodes(node))
+        else:
+            yield from body_nodes(scope)
+
+    @staticmethod
+    def _infer_unordered_names(nodes: List[ast.AST]) -> Dict[str, str]:
+        """name → kind ("set" | "keys") for locals assigned unordered values.
+
+        Last textual assignment wins: rebinding a name to ``sorted(...)``
+        or any non-set expression clears the taint.
+        """
+        assigns: Dict[str, Tuple[int, Optional[str]]] = {}
+
+        def record(name: str, lineno: int, kind: Optional[str]) -> None:
+            prior = assigns.get(name)
+            if prior is None or lineno >= prior[0]:
+                assigns[name] = (lineno, kind)
+
+        for node in nodes:
+            targets: List[ast.Name] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target]
+                value = node.value
+                if _annotation_is_set(node.annotation):
+                    for target in targets:
+                        record(target.id, node.lineno, "set")
+                    continue
+            if not targets or value is None:
+                continue
+            kind = _value_kind(value)
+            if kind == "set" and _is_int_only_set(value):
+                kind = None
+            for target in targets:
+                record(target.id, node.lineno, kind)
+        return {name: kind for name, (_line, kind) in assigns.items() if kind is not None}
+
+    def _classify(
+        self, module: ModuleContext, expr: ast.expr, set_names: Dict[str, str]
+    ) -> Optional[Finding]:
+        kind = _value_kind(expr)
+        if kind is None and isinstance(expr, ast.Name):
+            kind = set_names.get(expr.id)
+        if kind is None:
+            return None
+        if kind == "set" and _is_int_only_set(expr):
+            return None
+        if kind == "keys":
+            message = (
+                "iterating a .keys() view hides whether insertion order is "
+                "the intended order; iterate the dict directly (insertion-"
+                "ordered) or use sorted(...) for a canonical order"
+            )
+        else:
+            message = (
+                "iterating a set/frozenset visits elements in hash order "
+                "(PYTHONHASHSEED-dependent for strings); iterate "
+                "sorted(...) instead"
+            )
+        return module.finding(self, expr, message)
+
+
+def _value_kind(value: ast.expr) -> Optional[str]:
+    """"set", "keys", or None for an expression's (un)orderedness."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        if isinstance(value.func, ast.Name) and value.func.id in ("set", "frozenset"):
+            return "set"
+        if isinstance(value.func, ast.Attribute) and value.func.attr == "keys":
+            if not value.args and not value.keywords:
+                return "keys"
+    if isinstance(value, ast.BinOp) and isinstance(value.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        left = _value_kind(value.left)
+        right = _value_kind(value.right)
+        if "set" in (left, right):
+            return "set"
+    return None

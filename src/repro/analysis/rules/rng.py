@@ -1,0 +1,92 @@
+"""R1 — unseeded-rng: every random draw must come through an injected,
+seeded Generator.
+
+The determinism contract (README, ``docs/experiments.md``) makes each
+run a pure function of its seed. Module-level convenience RNGs —
+``random.random()``, ``np.random.choice(...)``, a bare
+``np.random.default_rng()`` — draw from global or OS-entropy state the
+seed does not control, so one such call anywhere in a replication
+breaks replayability in ways the sampled CI seeds may never expose.
+Constructing explicitly seeded generators (``np.random.Generator``,
+``np.random.PCG64(seed)``, ``np.random.default_rng(seed)``,
+``random.Random(seed)``) is the sanctioned pattern and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    resolve_dotted,
+)
+
+#: ``numpy.random`` attributes that *construct* generators/bit streams
+#: rather than draw from hidden state. Calls to these are clean as long
+#: as ``default_rng`` receives an explicit seed argument.
+_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+        "default_rng",
+    }
+)
+
+#: Stdlib ``random`` attributes that construct independent instances.
+_STDLIB_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+
+class UnseededRngRule(Rule):
+    id = "R1"
+    name = "unseeded-rng"
+    rationale = (
+        "module-level random.* / np.random.* draws bypass the injected "
+        "seeded Generator, breaking run-is-a-pure-function-of-its-seed"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, module.imports)
+            if dotted is None:
+                continue
+            if dotted.startswith("random."):
+                tail = dotted.split(".", 1)[1]
+                if tail.split(".", 1)[0] in _STDLIB_CONSTRUCTORS:
+                    continue
+                yield module.finding(
+                    self,
+                    node,
+                    f"call to stdlib {dotted}() draws from the global RNG; "
+                    "thread a seeded np.random.Generator (or random.Random) "
+                    "through instead",
+                )
+            elif dotted.startswith(("numpy.random.", "np.random.")):
+                tail = dotted.rsplit("random.", 1)[1]
+                head = tail.split(".", 1)[0]
+                if head == "default_rng" and not (node.args or node.keywords):
+                    yield module.finding(
+                        self,
+                        node,
+                        "np.random.default_rng() without a seed pulls OS "
+                        "entropy; pass the replication's seed explicitly",
+                    )
+                    continue
+                if head in _NUMPY_CONSTRUCTORS:
+                    continue
+                yield module.finding(
+                    self,
+                    node,
+                    f"call to {dotted}() uses numpy's hidden global state; "
+                    "draw from the injected seeded Generator instead",
+                )

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.coalition import Coalition, TaskAward
+from repro.errors import UnknownReservationError
 from repro.core.negotiation import negotiate, release_coalition
 from repro.core.selection import SelectionPolicy
 from repro.network.topology import Topology
@@ -216,8 +217,8 @@ def run_operation_phase(
             if award is not None and award.reservation is not None and award.reservation.live:
                 try:
                     providers[award.node_id].release(award.reservation, now)
-                except Exception:
-                    pass
+                except UnknownReservationError:
+                    pass  # already reclaimed (e.g. a lease sweep raced us)
             prior = outcomes.get(tid)
             outcomes[tid] = TaskOutcome(
                 task_id=tid, status="lost", node_id=None, finished_at=None,
@@ -235,8 +236,8 @@ def run_operation_phase(
                 # the accounting clean for post-mortem inspection.
                 try:
                     providers[award.node_id].release(award.reservation, now)
-                except Exception:
-                    pass
+                except UnknownReservationError:
+                    pass  # already reclaimed by the dead node's sweep
             prior = outcomes.get(tid)
             reallocs = (prior.reallocations if prior else 0)
             outcomes[tid] = TaskOutcome(
@@ -280,8 +281,8 @@ def run_operation_phase(
         if award.reservation is not None and award.reservation.live:
             try:
                 providers[award.node_id].release(award.reservation, engine.now)
-            except Exception:
-                pass
+            except UnknownReservationError:
+                pass  # already reclaimed (double release is benign here)
         prior = outcomes.get(tid)
         outcomes[tid] = TaskOutcome(
             task_id=tid, status="lost", node_id=None, finished_at=None,

@@ -65,7 +65,10 @@ class ReputationTracker:
         their last award holder.
         """
         dropped_pairs = set(getattr(report, "dropped_awards", ()))
-        for node_id, _task_id in dropped_pairs:
+        # Sorted, not raw-set, order: the per-node counters are additive
+        # so any order yields the same scores, but the _records dict's
+        # *insertion* order must stay seed-deterministic for replay.
+        for node_id, _task_id in sorted(dropped_pairs):
             self.record_failure(node_id)
         for outcome in report.outcomes.values():
             if outcome.status == "completed" and outcome.node_id:

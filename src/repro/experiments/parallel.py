@@ -110,8 +110,12 @@ def _unit_worker(
                 # Round-trip: some exceptions pickle but fail to
                 # *unpickle* (custom __init__ signatures), which would
                 # crash the parent's queue read with an unrelated error.
+                # The absorbed types are exactly how a failed round-trip
+                # presents: PickleError from the protocol itself,
+                # TypeError/AttributeError/ValueError from __reduce__ /
+                # re-construction of exotic exception signatures.
                 pickle.loads(pickle.dumps(exc))
-            except Exception:
+            except (pickle.PickleError, TypeError, AttributeError, ValueError):
                 exc = RuntimeError(
                     f"unit {unit.suite}[point {unit.point_index}] with seed "
                     f"{unit.seed} failed with an unpicklable "

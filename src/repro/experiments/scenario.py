@@ -25,7 +25,7 @@ def _append_mixed_helpers(
     The single home of the weighted class draw, so the per-draw rng
     consumption of every fleet builder is identical by construction.
     """
-    classes = list(config.mix.keys())
+    classes = list(config.mix)  # insertion order == FLEET_MIXES declaration order
     weights = np.asarray([config.mix[c] for c in classes], dtype=float)
     weights = weights / weights.sum()
     for i in range(config.n_nodes - len(nodes)):

@@ -143,7 +143,7 @@ def override(name: str, enabled: bool) -> Iterator[None]:
 def describe() -> str:
     """A printable table of every switch (the CLI's --list-features)."""
     width = max(len(name) for name in FEATURES)
-    lines = []
+    lines: list[str] = []
     for name, switch in FEATURES.items():
         state = "on " if switch.enabled else "off"
         lines.append(f"{name:<{width}}  {state}  {switch.description}")

@@ -128,5 +128,4 @@ def summarize_rows(rows: Sequence[Dict[str, float]]) -> Dict[str, Summary]:
     """Column-wise :func:`describe` over dict rows sharing keys."""
     if not rows:
         raise ValueError("no rows to summarize")
-    keys = rows[0].keys()
-    return {k: describe([r[k] for r in rows]) for k in keys}
+    return {k: describe([r[k] for r in rows]) for k in rows[0]}

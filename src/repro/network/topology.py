@@ -669,8 +669,11 @@ class Topology:
         alive = {nid for nid, n in self._nodes.items() if n.alive}
         seen: set = set()
         components = 0
-        for nid in alive:
-            if nid in seen:
+        # Seed the sweep in registration order (the count is traversal-
+        # order-free, but hash-ordered set iteration is banned in the
+        # simulation packages — see docs/static-analysis.md, R3).
+        for nid in self._nodes:
+            if nid not in alive or nid in seen:
                 continue
             components += 1
             stack = [nid]

@@ -139,6 +139,7 @@ class Capacity:
         if not isinstance(other, Capacity):
             return NotImplemented
         kinds = set(self._amounts) | set(other._amounts)
+        # repro: allow[R3] all() over the union is order-free (pure conjunction)
         return all(abs(self.get(k) - other.get(k)) <= 1e-9 for k in kinds)
 
     def __hash__(self) -> int:

@@ -33,6 +33,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.core.negotiation import negotiate, release_coalition
 from repro.core.reputation import ReputationTracker
 from repro.core.selection import SelectionPolicy
+from repro.errors import UnknownReservationError
 from repro.metrics.utility import allocation_utility
 from repro.network.mobility import MobilityModel
 from repro.network.topology import Topology
@@ -224,8 +225,8 @@ class SessionDriver:
                 if award.reservation is not None and award.reservation.live:
                     try:
                         self.providers[award.node_id].release(award.reservation, now)
-                    except Exception:
-                        pass  # dead node's manager state is moot
+                    except UnknownReservationError:
+                        pass  # dead node's ledger already reclaimed it
                 if self.reputation is not None:
                     self.reputation.record_failure(award.node_id)
                 session.live_tasks.discard(task_id)

@@ -1,0 +1,15 @@
+"""R1 fixture: the sanctioned seeded-generator idiom (no findings)."""
+
+import numpy as np
+
+
+def jitter(rng: np.random.Generator, width):
+    return rng.random() * width
+
+
+def make_rng(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def make_default(seed):
+    return np.random.default_rng(seed)

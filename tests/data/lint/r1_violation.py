@@ -1,0 +1,12 @@
+"""R1 fixture: module-level RNG draws (every line here should flag)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(width):
+    base = random.random() * width
+    pick = np.random.choice([1, 2, 3])
+    rng = np.random.default_rng()
+    return base + pick + rng.random()

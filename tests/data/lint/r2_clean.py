@@ -1,0 +1,7 @@
+"""R2 fixture: simulated time comes from the engine (no findings)."""
+
+
+def stamp(engine, events):
+    started = engine.now
+    events.append((engine.now, engine.now))
+    return engine.now - started

@@ -1,0 +1,10 @@
+"""R2 fixture: host-clock reads (linted as a repro.sim module)."""
+
+import time
+from datetime import datetime
+
+
+def stamp(events):
+    started = time.perf_counter()
+    events.append((datetime.now(), time.time()))
+    return time.perf_counter() - started

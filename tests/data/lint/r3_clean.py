@@ -1,0 +1,14 @@
+"""R3 fixture: canonical or insertion order everywhere (no findings)."""
+
+
+def broadcast(node_ids, ledger):
+    audience = set(node_ids)
+    for node in sorted(audience):
+        yield node
+    for key in ledger:  # dict: deterministic insertion order
+        yield key
+    for index in {0, 1, 2}:  # int-only set: value-stable hashing
+        yield index
+    if "gateway" in audience:  # membership tests are order-free
+        yield "gateway"
+    return sorted(frozenset(node_ids))

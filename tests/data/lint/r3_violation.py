@@ -1,0 +1,12 @@
+"""R3 fixture: hash-ordered iteration (each loop should flag)."""
+
+
+def broadcast(node_ids, ledger):
+    audience = set(node_ids)
+    for node in audience:
+        yield node
+    for name in {"alpha", "beta"}:
+        yield name
+    for key in ledger.keys():
+        yield key
+    return [n for n in frozenset(node_ids)]

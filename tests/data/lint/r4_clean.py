@@ -1,0 +1,12 @@
+"""R4 fixture: handlers name what they absorb (no findings)."""
+
+
+def tolerate(release):
+    try:
+        release()
+    except (KeyError, ValueError):
+        pass
+    try:
+        release()
+    except BaseException:  # deliberate relay boundary, not flagged
+        raise

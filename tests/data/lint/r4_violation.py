@@ -1,0 +1,12 @@
+"""R4 fixture: blanket handlers (both should flag)."""
+
+
+def swallow(release):
+    try:
+        release()
+    except Exception:
+        pass
+    try:
+        release()
+    except:  # noqa: E722
+        pass

@@ -1,0 +1,17 @@
+"""R5 fixture: snapshot-once semantics (no findings)."""
+
+USE_FAST_PATH = True
+
+
+def run(tasks):
+    use_fast = USE_FAST_PATH  # snapshot at entry
+    if use_fast:
+        tasks = [t for t in tasks if t]
+    if use_fast:
+        return tasks
+    return list(reversed(tasks))
+
+
+def other(tasks):
+    # A *different* function body may read the switch again.
+    return tasks if USE_FAST_PATH else list(reversed(tasks))

@@ -1,0 +1,12 @@
+"""R5 fixture: a switch read twice in one function body (should flag)."""
+
+USE_FAST_PATH = True
+
+
+def run(tasks):
+    if USE_FAST_PATH:
+        tasks = [t for t in tasks if t]
+    # ... time passes; the global may have been flipped by an override ...
+    if USE_FAST_PATH:
+        return tasks
+    return list(reversed(tasks))

@@ -1,0 +1,28 @@
+"""R6 fixture: every arena mutation bumps, directly or transitively."""
+
+
+class MiniTopology:
+    def __init__(self):
+        self._epoch = 0
+        self.positions = []
+        self._adj = []
+        self.rebuild()  # transitively bumping
+
+    def _bump_epoch(self):
+        self._epoch += 1
+
+    def rebuild(self):
+        self.positions = []
+        self._adj = []
+        self._bump_epoch()
+
+    def move(self, i, xy):
+        self.positions[i] = xy
+        self._bump_epoch()
+
+    def refresh(self):
+        self._adj = []
+        self.rebuild()  # calls a bumping method
+
+    def read_only(self):
+        return len(self.positions)  # reads never need a bump

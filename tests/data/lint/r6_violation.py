@@ -1,0 +1,24 @@
+"""R6 fixture: arena mutation without an epoch bump (should flag)."""
+
+
+class MiniTopology:
+    def __init__(self):
+        self._epoch = 0
+        self.positions = []
+        self._adj = []
+
+    def _bump_epoch(self):
+        self._epoch += 1
+
+    def rebuild(self):
+        self.positions = []
+        self._adj = []
+        self._bump_epoch()
+
+    def sneak_move(self, i, xy):
+        # Mutates the arena but never bumps: cached routes go stale.
+        self.positions[i] = xy
+
+    def sneak_alias(self, i, xy):
+        pos = self.positions
+        pos[i] = xy
