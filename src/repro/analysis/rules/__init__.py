@@ -1,4 +1,4 @@
-"""The rule registry: six statically enforced determinism invariants.
+"""The rule registry: seven statically enforced determinism invariants.
 
 ========  ========================  ==========================================
 id        name                      invariant
@@ -13,6 +13,8 @@ id        name                      invariant
 ``R5``    feature-switch-snapshot   each feature switch is read once per
                                     function body (snapshot semantics)
 ``R6``    epoch-unsafe-mutation     topology arena writes bump the cache epoch
+``R7``    unbounded-retry           retry loops around transmit/negotiate/
+                                    keepalive spend a bounded budget
 ========  ========================  ==========================================
 """
 
@@ -30,13 +32,14 @@ from repro.analysis.rules.base import (
 from repro.analysis.rules.epochs import EpochMutationRule
 from repro.analysis.rules.exceptions import BlanketExceptRule
 from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.retry import UnboundedRetryRule
 from repro.analysis.rules.rng import UnseededRngRule
 from repro.analysis.rules.switches import FeatureSnapshotRule
 from repro.analysis.rules.wallclock import WallClockRule
 
 
 def default_rules(config: RuleConfig | None = None) -> List[Rule]:
-    """Fresh instances of all six rules, in id order."""
+    """Fresh instances of all seven rules, in id order."""
     config = config or RuleConfig()
     return [
         UnseededRngRule(),
@@ -45,6 +48,7 @@ def default_rules(config: RuleConfig | None = None) -> List[Rule]:
         BlanketExceptRule(),
         FeatureSnapshotRule(),
         EpochMutationRule(config),
+        UnboundedRetryRule(),
     ]
 
 
@@ -75,6 +79,7 @@ __all__ = [
     "BlanketExceptRule",
     "EpochMutationRule",
     "FeatureSnapshotRule",
+    "UnboundedRetryRule",
     "UnorderedIterationRule",
     "UnseededRngRule",
     "WallClockRule",

@@ -29,7 +29,7 @@ reservation-at-award behaviour the paper assigns to Resource Managers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.admissibility import is_admissible
 from repro.core.coalition import Coalition, TaskAward
@@ -43,7 +43,11 @@ from repro.core.proposal import Proposal
 from repro.core.reputation import ReputationTracker
 from repro.core.reward import PenaltyPolicy
 from repro.core.selection import ScoredProposal, SelectionPolicy
-from repro.errors import CapacityExceededError, NotConnectedError
+from repro.errors import (
+    CapacityExceededError,
+    NotConnectedError,
+    UnknownReservationError,
+)
 from repro.network.topology import Topology
 from repro.qos.levels import QualityAssignment
 from repro.resources.capacity import Capacity
@@ -51,6 +55,9 @@ from repro.resources.kinds import ResourceKind
 from repro.resources.provider import QoSProvider
 from repro.services.service import Service
 from repro.services.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 #: Feature switch for the batched step-3 evaluation path. The scalar
 #: per-proposal path is kept so tests can assert both paths produce
@@ -76,6 +83,9 @@ class NegotiationOutcome:
             node — matching what the agent-based organizer sends (its
             own node answers the CFP and receives awards locally,
             costing no radio traffic).
+        award_retries: Award-handshake retransmissions spent recovering
+            lost AWARD/ACK rounds (0 without fault injection).
+        retry_delay: Total simulated backoff delay those retries cost.
     """
 
     service: Service
@@ -84,6 +94,8 @@ class NegotiationOutcome:
     candidates: Tuple[str, ...] = ()
     proposals_received: int = 0
     message_count: int = 0
+    award_retries: int = 0
+    retry_delay: float = 0.0
 
     @property
     def success(self) -> bool:
@@ -332,6 +344,7 @@ def negotiate(
     evaluator_options: Optional[dict] = None,
     max_hops: int = 1,
     reputation: Optional["ReputationTracker"] = None,
+    faults: Optional["FaultInjector"] = None,
 ) -> NegotiationOutcome:
     """Run the full Section 4.2 negotiation for one service.
 
@@ -357,6 +370,13 @@ def negotiate(
         reputation: Optional reliability tracker; its scores reach the
             selection policy (only used when the policy enables
             ``use_reputation``).
+        faults: Optional fault injector
+            (:class:`~repro.faults.injector.FaultInjector`): PROPOSE
+            bundles may be dropped or arrive stale, and committed remote
+            awards run the hardened AWARD/ACK handshake — lost rounds
+            retry with bounded deterministic exponential backoff before
+            the organizer falls through down the ranking. ``None`` (the
+            default) is the exact pre-fault path, draw for draw.
 
     Returns:
         A :class:`NegotiationOutcome`; the coalition is left in phase
@@ -378,6 +398,13 @@ def negotiate(
         service, audience, providers, penalty=penalty, now=now,
         float_steps=evaluator_options.get("float_steps", 8),
     )
+    stale: frozenset = frozenset()
+    if faults is not None:
+        # Link/agent faults hit the PROPOSE leg: dropped bundles vanish
+        # before evaluation, stale ones are scored but refused at award.
+        by_task, stale = faults.filter_proposals(
+            service.requester, audience, by_task
+        )
     proposals_received = sum(len(v) for v in by_task.values())
     ledger = _Ledger(providers) if not commit else None
 
@@ -413,6 +440,7 @@ def negotiate(
         k: v for k, v in evaluator_options.items() if k != "float_steps"
     }
     unallocated: List[str] = []
+    handshake_stats = {"retries": 0, "delay": 0.0}
     for task in service.tasks:
         admissible = [
             p for p in by_task[task.task_id] if is_admissible(task.request, p)
@@ -432,7 +460,8 @@ def negotiate(
         )
         ranked = selection.rank(scored)
         awarded = _try_award(
-            task, ranked, coalition, providers, ledger, commit, now
+            task, ranked, coalition, providers, ledger, commit, now,
+            faults=faults, stale=stale, stats=handshake_stats,
         )
         if awarded is None:
             unallocated.append(task.task_id)
@@ -447,6 +476,8 @@ def negotiate(
         candidates=audience,
         proposals_received=proposals_received,
         message_count=messages,
+        award_retries=handshake_stats["retries"],
+        retry_delay=handshake_stats["delay"],
     )
 
 
@@ -458,11 +489,24 @@ def _try_award(
     ledger: Optional[_Ledger],
     commit: bool,
     now: float,
+    faults: Optional["FaultInjector"] = None,
+    stale: frozenset = frozenset(),
+    stats: Optional[Dict[str, float]] = None,
 ) -> Optional[TaskAward]:
-    """Walk the ranked proposals; first one that passes admission wins."""
+    """Walk the ranked proposals; first one that passes admission wins.
+
+    Under fault injection, nodes whose PROPOSE arrived stale are refused
+    here (their offer no longer reflects their state), and a committed
+    remote award must survive the AWARD/ACK handshake — an unacked award
+    releases its reservation (idempotently: the winner may have crashed
+    and released already) and the walk falls through down the ranking.
+    """
     holder = f"{coalition.service.name}:{task.task_id}"
+    requester = coalition.service.requester
     for scored in ranked:
         proposal = scored.proposal
+        if proposal.node_id in stale:
+            continue
         provider = providers.get(proposal.node_id)
         if provider is None:
             continue
@@ -473,6 +517,29 @@ def _try_award(
                 )
             except CapacityExceededError:
                 continue
+            if faults is not None and proposal.node_id != requester:
+                acked, retries, delay = faults.award_handshake(
+                    requester, proposal.node_id
+                )
+                if stats is not None:
+                    stats["retries"] += retries
+                    stats["delay"] += delay
+                if not acked:
+                    release_award(
+                        providers,
+                        TaskAward(
+                            task_id=task.task_id,
+                            node_id=proposal.node_id,
+                            proposal=proposal,
+                            distance=scored.distance,
+                            comm_cost=scored.comm_cost,
+                            demand=demand,
+                            reservation=reservation,
+                        ),
+                        now,
+                        missing_ok=True,
+                    )
+                    continue
             return TaskAward(
                 task_id=task.task_id,
                 node_id=proposal.node_id,
@@ -500,19 +567,49 @@ def _try_award(
     return None
 
 
+def release_award(
+    providers: Mapping[str, QoSProvider],
+    award: TaskAward,
+    now: float = 0.0,
+    missing_ok: bool = False,
+) -> bool:
+    """Release one award's reservation; returns whether anything was
+    released.
+
+    With ``missing_ok`` the release is *idempotent*: a reservation the
+    manager no longer knows (already released by a crash sweep, a
+    duplicate RELEASE after a lost ack, ...) is absorbed instead of
+    raising :class:`~repro.errors.UnknownReservationError`. Managers
+    raise that error from a single guarded lookup before mutating, so
+    absorbing it cannot mask partial state changes; genuinely malformed
+    releases (``ValueError``) still propagate either way.
+    """
+    if award.reservation is None or not award.reservation.live:
+        return False
+    try:
+        providers[award.node_id].release(award.reservation, now)
+    except UnknownReservationError:
+        if not missing_ok:
+            raise
+        return False
+    return True
+
+
 def release_coalition(
     coalition: Coalition,
     providers: Mapping[str, QoSProvider],
     now: float = 0.0,
+    missing_ok: bool = False,
 ) -> int:
     """Release every live reservation held by a coalition's awards.
 
     Returns the number of reservations released. Used at dissolution and
-    by tests to restore manager state.
+    by tests to restore manager state. ``missing_ok`` makes each
+    per-award release idempotent (see :func:`release_award`); dissolution
+    keeps the strict default so double-releases stay loud.
     """
     released = 0
     for award in coalition.awards.values():
-        if award.reservation is not None and award.reservation.live:
-            providers[award.node_id].release(award.reservation, now)
+        if release_award(providers, award, now, missing_ok=missing_ok):
             released += 1
     return released

@@ -27,8 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.coalition import Coalition, TaskAward
-from repro.errors import UnknownReservationError
-from repro.core.negotiation import negotiate, release_coalition
+from repro.core.negotiation import negotiate, release_award, release_coalition
 from repro.core.selection import SelectionPolicy
 from repro.network.topology import Topology
 from repro.resources.provider import QoSProvider
@@ -214,11 +213,9 @@ def run_operation_phase(
     def _abandon(orphans: List[str], now: float) -> None:
         for tid in orphans:
             award = running.pop(tid, None)
-            if award is not None and award.reservation is not None and award.reservation.live:
-                try:
-                    providers[award.node_id].release(award.reservation, now)
-                except UnknownReservationError:
-                    pass  # already reclaimed (e.g. a lease sweep raced us)
+            if award is not None:
+                # Idempotent: a lease sweep may have reclaimed it already.
+                release_award(providers, award, now, missing_ok=True)
             prior = outcomes.get(tid)
             outcomes[tid] = TaskOutcome(
                 task_id=tid, status="lost", node_id=None, finished_at=None,
@@ -231,13 +228,10 @@ def run_operation_phase(
         orphan_tasks = tuple(service.task(tid) for tid in orphans)
         for tid in orphans:
             award = running.pop(tid, None)
-            if award is not None and award.reservation is not None and award.reservation.live:
+            if award is not None:
                 # The node is dead; its manager state is moot, but keep
                 # the accounting clean for post-mortem inspection.
-                try:
-                    providers[award.node_id].release(award.reservation, now)
-                except UnknownReservationError:
-                    pass  # already reclaimed by the dead node's sweep
+                release_award(providers, award, now, missing_ok=True)
             prior = outcomes.get(tid)
             reallocs = (prior.reallocations if prior else 0)
             outcomes[tid] = TaskOutcome(
@@ -278,11 +272,8 @@ def run_operation_phase(
     # their precedence predecessors were lost. Release and mark lost.
     for tid in list(running):
         award = running.pop(tid)
-        if award.reservation is not None and award.reservation.live:
-            try:
-                providers[award.node_id].release(award.reservation, engine.now)
-            except UnknownReservationError:
-                pass  # already reclaimed (double release is benign here)
+        # Idempotent: double release at quiescence is benign here.
+        release_award(providers, award, engine.now, missing_ok=True)
         prior = outcomes.get(tid)
         outcomes[tid] = TaskOutcome(
             task_id=tid, status="lost", node_id=None, finished_at=None,

@@ -99,7 +99,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run one named contention scenario over the replication "
              "seeds and print its summarized metrics (instead of suites)",
     )
+    parser.add_argument(
+        "--disable-feature", action="append", default=[], metavar="NAME",
+        dest="disable_features",
+        help="disable a feature switch from the repro.features registry "
+             "for this invocation (repeatable; see --list-features) — "
+             "the CI A/B jobs use this to pin that a disabled subsystem "
+             "is bit-identical to an enabled-but-unused one",
+    )
     args = parser.parse_args(argv)
+
+    if args.disable_features:
+        from repro.features import FEATURES, set_enabled
+
+        unknown_features = [
+            n for n in args.disable_features if n not in FEATURES
+        ]
+        if unknown_features:
+            print(
+                f"unknown feature switch(es): {', '.join(unknown_features)}",
+                file=sys.stderr,
+            )
+            print(f"available: {', '.join(FEATURES)}", file=sys.stderr)
+            return 2
+        for name in args.disable_features:
+            set_enabled(name, False)
 
     if args.list:
         print(f"{len(ALL_SUITES)} suites ({_suite_span()}):")

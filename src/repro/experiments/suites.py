@@ -59,6 +59,7 @@ from repro.resources.capacity import Capacity
 from repro.resources.kinds import ResourceKind
 from repro.resources.node import Node, NodeClass
 from repro.resources.provider import QoSProvider
+from repro.experiments.fault_suites import e23_plan
 from repro.experiments.shard_suites import e22_plan
 from repro.experiments.workload_suites import (
     e15_plan,
@@ -1203,6 +1204,7 @@ SUITE_PLANS: Dict[str, Callable[[SweepConfig], SuitePlan]] = {
     "E20": e20_plan,
     "E21": e21_plan,
     "E22": e22_plan,
+    "E23": e23_plan,
 }
 
 # The PR 1 public interface: each suite as a Table-returning callable.
@@ -1228,6 +1230,7 @@ e19_mobility_scale = _table_suite(e19_plan, "e19_mobility_scale")
 e20_streaming_sessions = _table_suite(e20_plan, "e20_streaming_sessions")
 e21_realistic_arrivals = _table_suite(e21_plan, "e21_realistic_arrivals")
 e22_shard_scale = _table_suite(e22_plan, "e22_shard_scale")
+e23_fault_sweep = _table_suite(e23_plan, "e23_fault_sweep")
 
 #: All suites, keyed by experiment id (benchmarks and docs iterate this).
 ALL_SUITES = {
@@ -1253,4 +1256,5 @@ ALL_SUITES = {
     "E20": e20_streaming_sessions,
     "E21": e21_realistic_arrivals,
     "E22": e22_shard_scale,
+    "E23": e23_fault_sweep,
 }

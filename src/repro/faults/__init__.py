@@ -1,0 +1,53 @@
+"""Seed-deterministic fault injection (``repro.faults``).
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — the declarative, frozen
+  :class:`~repro.faults.plan.FaultPlan` (link, node and agent faults
+  plus the hardened retry policy);
+* :mod:`repro.faults.injector` — the
+  :class:`~repro.faults.injector.FaultInjector` that executes a plan at
+  the existing seams (channel wrapper, node liveness, topology
+  overlays, negotiation), behind the ``faults`` feature switch;
+* :mod:`repro.faults.report` — the
+  :class:`~repro.faults.report.ResilienceReport` summarizing
+  availability, recovery times, retries and the degraded-vs-dropped
+  split from session transition traces.
+
+See ``docs/faults.md`` for the fault model catalog and the determinism
+contract.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultyChannel,
+    make_injector,
+)
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    AgentFaults,
+    Brownout,
+    CrashHazard,
+    DelaySpike,
+    FaultPlan,
+    GilbertElliott,
+    Partition,
+    RetryPolicy,
+)
+from repro.faults.report import ResilienceReport
+
+__all__ = [
+    "AgentFaults",
+    "Brownout",
+    "CrashHazard",
+    "DelaySpike",
+    "EMPTY_PLAN",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyChannel",
+    "GilbertElliott",
+    "Partition",
+    "ResilienceReport",
+    "RetryPolicy",
+    "make_injector",
+]

@@ -1,0 +1,156 @@
+"""Resilience accounting: what sessions lived through, summarized.
+
+:class:`ResilienceReport` condenses the per-session transition traces
+(:attr:`repro.sessions.lifecycle.Session.transitions`) into the
+robustness metrics the E23 fault sweeps report:
+
+* **availability** — the fraction of admitted-session time spent in
+  ``OPERATING`` (time in ``DEGRADED``/``RENEGOTIATING`` counts against
+  it; the denominator is each session's span from first ``OPERATING``
+  to its terminal state);
+* **recovery times** — durations of every degradation episode that
+  ended back in ``OPERATING`` (whether by partition heal or successful
+  renegotiation); episodes that ended in ``DROPPED``/``CLOSED`` are not
+  recoveries and appear in the split instead;
+* **retries spent** — award-handshake retransmissions and their total
+  simulated backoff delay, accumulated across admission and
+  renegotiation rounds;
+* **degraded-vs-dropped split** — how many admitted sessions ever
+  degraded, and of all admitted how many were dropped vs closed.
+
+Everything is an exact, event-driven function of the traces — no
+sampling — so a report is as deterministic as the run it describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.sessions.lifecycle import Session, SessionState
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Robustness metrics for one run's sessions.
+
+    Attributes:
+        admitted: Sessions whose admission succeeded.
+        closed: Admitted sessions that streamed their full span.
+        dropped: Admitted sessions torn down mid-stream.
+        degraded_sessions: Admitted sessions that entered ``DEGRADED``
+            at least once.
+        operating_time: Total simulated time admitted sessions spent in
+            ``OPERATING``.
+        active_time: Total admitted-session time (first ``OPERATING``
+            to terminal state) — the availability denominator.
+        recovery_times: Durations of degradation episodes that ended
+            back in ``OPERATING``, in event order.
+        award_retries: Award-handshake retransmissions across all
+            negotiation rounds.
+        retry_delay: Total simulated backoff delay those retries spent.
+    """
+
+    admitted: int
+    closed: int
+    dropped: int
+    degraded_sessions: int
+    operating_time: float
+    active_time: float
+    recovery_times: Tuple[float, ...]
+    award_retries: int
+    retry_delay: float
+
+    @property
+    def availability(self) -> float:
+        """Fraction of admitted-session time in ``OPERATING`` (1.0 when
+        nothing was admitted — nothing was ever unavailable)."""
+        if self.active_time <= 0.0:
+            return 1.0
+        return self.operating_time / self.active_time
+
+    @property
+    def recovered(self) -> int:
+        """Degradation episodes that ended back in ``OPERATING``."""
+        return len(self.recovery_times)
+
+    @property
+    def mean_recovery(self) -> float:
+        """Mean recovery time (0.0 when nothing recovered)."""
+        if not self.recovery_times:
+            return 0.0
+        return sum(self.recovery_times) / len(self.recovery_times)
+
+    def metrics(self) -> Dict[str, float]:
+        """The flat metric row the E23 sweep reports (fixed keys)."""
+        return {
+            "admitted": float(self.admitted),
+            "availability": self.availability,
+            "mean_recovery_s": self.mean_recovery,
+            "recovered": float(self.recovered),
+            "degraded_sessions": float(self.degraded_sessions),
+            "dropped": float(self.dropped),
+            "award_retries": float(self.award_retries),
+            "retry_delay_s": self.retry_delay,
+        }
+
+    @classmethod
+    def from_sessions(cls, sessions: Sequence[Session]) -> "ResilienceReport":
+        """Fold a run's sessions (admitted or not) into one report.
+
+        Only admitted sessions contribute time; each one's trace is
+        integrated from its first ``OPERATING`` entry to its terminal
+        transition (the driver runs to quiescence, so every admitted
+        session has one).
+        """
+        admitted = closed = dropped = degraded_sessions = 0
+        operating_time = active_time = 0.0
+        recovery_times: list = []
+        award_retries = 0
+        retry_delay = 0.0
+        for session in sessions:
+            award_retries += session.award_retries
+            retry_delay += session.retry_delay
+            if not session.admitted:
+                continue
+            admitted += 1
+            if session.state is SessionState.CLOSED:
+                closed += 1
+            elif session.state is SessionState.DROPPED:
+                dropped += 1
+            start = None
+            degraded_at = None
+            ever_degraded = False
+            for i, (t, state) in enumerate(session.transitions):
+                if state is SessionState.OPERATING and start is None:
+                    start = t
+                if start is None:
+                    continue
+                # Time in this state runs to the next transition (the
+                # terminal state has no successor and spans no time).
+                if i + 1 < len(session.transitions):
+                    span = session.transitions[i + 1][0] - t
+                    if state is SessionState.OPERATING:
+                        operating_time += span
+                if state is SessionState.DEGRADED:
+                    ever_degraded = True
+                    if degraded_at is None:
+                        degraded_at = t
+                elif state is SessionState.OPERATING and degraded_at is not None:
+                    recovery_times.append(t - degraded_at)
+                    degraded_at = None
+            if ever_degraded:
+                degraded_sessions += 1
+            if start is not None and session.ended_at is not None:
+                active_time += session.ended_at - start
+        return cls(
+            admitted=admitted,
+            closed=closed,
+            dropped=dropped,
+            degraded_sessions=degraded_sessions,
+            operating_time=operating_time,
+            active_time=active_time,
+            recovery_times=tuple(recovery_times),
+            award_retries=award_retries,
+            retry_delay=retry_delay,
+        )

@@ -12,7 +12,11 @@ tests can pin the legacy path and assert bit-identical results:
   ``sessions.operate=True`` fall back to admission-only when off);
 * ``shard`` — :data:`repro.shard.cluster.USE_SHARDING`, the spatially-
   partitioned cluster shards with gateway routing (clusters collapse to
-  one shard when off).
+  one shard when off);
+* ``faults`` — :data:`repro.faults.injector.USE_FAULTS`, the
+  seed-deterministic fault-injection subsystem (configs with a
+  non-empty :class:`~repro.faults.plan.FaultPlan` run fault-free when
+  off).
 
 This module is the one place that knows where those booleans live.
 Switches keep living in their owning modules (existing tests
@@ -30,7 +34,9 @@ object or run**, never mid-flight:
 * ``session-driver`` at :func:`~repro.workloads.run_contention` entry
   (one run is all-driver or all-legacy);
 * ``shard`` at :class:`~repro.shard.ShardedCluster` construction
-  (matching ``vector-topology``'s construction-time snapshot).
+  (matching ``vector-topology``'s construction-time snapshot);
+* ``faults`` at :func:`~repro.faults.injector.make_injector` — called
+  once per streaming run, so a run is all-faulted or all-clean.
 
 Flipping a switch therefore affects the *next* object/run, which is
 what makes :func:`override` safe to wrap around a whole experiment.
@@ -97,6 +103,14 @@ FEATURES: Dict[str, FeatureSwitch] = {
             description="spatially-partitioned cluster shards with "
                         "gateway routing (snapshot per ShardedCluster "
                         "construction; off = one shard)",
+        ),
+        FeatureSwitch(
+            name="faults",
+            module="repro.faults.injector",
+            attribute="USE_FAULTS",
+            description="seed-deterministic fault injection "
+                        "(snapshot per run via make_injector; off = "
+                        "plans are ignored, runs are fault-free)",
         ),
     )
 }

@@ -56,9 +56,15 @@ class ChannelModel:
         if quality is None:
             return None
         bandwidth, loss = quality  # kb/s, probability
-        if not self.reliable:
-            if loss > 0.0 and self.rng.random() < loss:
-                return None
+        # A reliable channel consumes NO draws on any path (no loss, no
+        # jitter): fault injectors wrap reliable channels, and a wrapped
+        # fault-free stream must stay bit-identical to an unwrapped one.
+        # Zero-loss links likewise skip the loss draw entirely.
+        if self.reliable:
+            tx_time = (size_kb / bandwidth) if bandwidth > 0 else float("inf")
+            return self.propagation_delay + tx_time
+        if loss > 0.0 and self.rng.random() < loss:
+            return None
         tx_time = (size_kb / bandwidth) if bandwidth > 0 else float("inf")
         extra = float(self.rng.uniform(0.0, self.jitter)) if self.jitter > 0 else 0.0
         return self.propagation_delay + tx_time + extra

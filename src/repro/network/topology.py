@@ -89,6 +89,10 @@ class Topology:
         self._dist: Optional[np.ndarray] = None
         self._edge_count = 0
         self._removed_since_rebuild = False
+        # Blocked-link overlay (partition faults): normalized id pairs
+        # suppressed from the adjacency on every (re)build. Empty for
+        # fault-free runs, where it costs nothing.
+        self._blocked: set = set()
         # -- per-epoch caches, built lazily on first query ----------------
         self._cache_epoch = -1
         self._nbrs: Dict[str, Tuple[str, ...]] = {}
@@ -207,6 +211,8 @@ class Topology:
         self._adj = adj
         self._bw = np.asarray(self.radio.bandwidth_matrix(dist), dtype=np.float64)
         self._loss = np.asarray(self.radio.loss_matrix(dist), dtype=np.float64)
+        if self._blocked:
+            self._apply_blocked()
         self._edge_count = int(np.count_nonzero(adj)) // 2
 
     def update_positions(self, moved: Sequence[str]) -> None:
@@ -279,6 +285,11 @@ class Topology:
             self._bw[:, i] = bw_rows[k]
             self._loss[i, :] = loss_rows[k]
             self._loss[:, i] = loss_rows[k]
+        if self._blocked:
+            # The refreshed rows re-derived adjacency from the radio
+            # model alone; reapply the overlay so a mover inside a
+            # partition cannot tunnel through it.
+            self._apply_blocked()
         self._edge_count = int(np.count_nonzero(self._adj)) // 2
         self._bump_epoch()
         self._graph = None
@@ -290,6 +301,10 @@ class Topology:
         alive = [n for n in self._nodes.values() if n.alive]
         for i, a in enumerate(alive):
             for b in alive[i + 1 :]:
+                if self._blocked and self._normalize_pair(
+                    a.node_id, b.node_id
+                ) in self._blocked:
+                    continue
                 if self.radio.in_range(a.position, b.position):
                     bw = self.radio.bandwidth(a.position, b.position)
                     loss = self.radio.loss_probability(a.position, b.position)
@@ -297,6 +312,57 @@ class Topology:
                         a.node_id, b.node_id, bandwidth=bw, loss=loss,
                         distance=a.distance_to(b),
                     )
+
+    # -- blocked-link overlay (partition faults) ---------------------------
+
+    @staticmethod
+    def _normalize_pair(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    @property
+    def blocked_links(self) -> frozenset:
+        """The current overlay: normalized ``(a, b)`` pairs whose direct
+        link is suppressed regardless of radio reachability."""
+        return frozenset(self._blocked)
+
+    def _apply_blocked(self) -> None:
+        """Drop every overlaid pair from the vector adjacency (pairs
+        naming absent/dead nodes are ignored — blocking is about links,
+        not membership)."""
+        self._bump_epoch()  # belt and braces: callers rebuild, but the
+        # R6 invariant is per-method — every arena mutation bumps.
+        index = self._index
+        ii: List[int] = []
+        jj: List[int] = []
+        for a, b in sorted(self._blocked):
+            i = index.get(a)
+            j = index.get(b)
+            if i is None or j is None:
+                continue
+            ii.append(i)
+            jj.append(j)
+        if ii:
+            self._adj[ii, jj] = False
+            self._adj[jj, ii] = False
+
+    def block_links(self, pairs: Sequence[Tuple[str, str]]) -> None:
+        """Add bidirectional link blocks and rebuild.
+
+        The overlay survives later rebuilds (mobility, churn) until
+        :meth:`unblock_links` removes it — a partition does not heal
+        because somebody moved.
+        """
+        self._blocked.update(self._normalize_pair(a, b) for a, b in pairs)
+        self.rebuild()
+
+    def unblock_links(self, pairs: Sequence[Tuple[str, str]]) -> None:
+        """Remove link blocks (healing a partition) and rebuild; links
+        come back exactly as the radio model dictates, so post-heal
+        routes match a never-partitioned topology bit for bit."""
+        self._blocked.difference_update(
+            self._normalize_pair(a, b) for a, b in pairs
+        )
+        self.rebuild()
 
     # -- lazy caches -------------------------------------------------------
 

@@ -28,12 +28,11 @@ order — fixed by submission order. Same seed, same trace.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
-from repro.core.negotiation import negotiate, release_coalition
+from repro.core.negotiation import negotiate, release_award, release_coalition
 from repro.core.reputation import ReputationTracker
 from repro.core.selection import SelectionPolicy
-from repro.errors import UnknownReservationError
 from repro.metrics.utility import allocation_utility
 from repro.network.mobility import MobilityModel
 from repro.network.topology import Topology
@@ -43,6 +42,9 @@ from repro.services.service import Service
 from repro.sessions.lifecycle import Session, SessionState
 from repro.sessions.policy import SessionPolicy
 from repro.sim.engine import Engine, EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class SessionDriver:
@@ -76,6 +78,10 @@ class SessionDriver:
         self.selection = selection
         self.reputation = reputation
         self.sessions: List[Session] = []
+        self.faults: Optional["FaultInjector"] = None
+        """Fault context for negotiation rounds (set by
+        :meth:`repro.faults.injector.FaultInjector.install`; ``None`` is
+        the exact pre-fault path)."""
         self._active = 0
         self._pending = 0
         self._close_handles: Dict[int, EventHandle] = {}
@@ -166,8 +172,11 @@ class SessionDriver:
             commit=True,
             now=now,
             reputation=self.reputation,
+            faults=self.faults,
         )
         session.admission = outcome
+        session.award_retries += outcome.award_retries
+        session.retry_delay += outcome.retry_delay
         if not outcome.success:
             # Admission refused: release the partial reservations an
             # incomplete negotiation left behind and reject the session.
@@ -222,14 +231,12 @@ class SessionDriver:
         if orphans:
             for task_id in orphans:
                 award = coalition.awards[task_id]
-                if award.reservation is not None and award.reservation.live:
-                    try:
-                        self.providers[award.node_id].release(award.reservation, now)
-                    except UnknownReservationError:
-                        pass  # dead node's ledger already reclaimed it
+                # Idempotent: the dead node's ledger may have reclaimed it.
+                release_award(self.providers, award, now, missing_ok=True)
                 if self.reputation is not None:
                     self.reputation.record_failure(award.node_id)
                 session.live_tasks.discard(task_id)
+                session.suspended.pop(task_id, None)
             self.engine.tracer.emit(
                 now, "session", "degraded",
                 session=session.service.name, orphans=len(orphans),
@@ -238,9 +245,75 @@ class SessionDriver:
                 session.transition(SessionState.DEGRADED, now)
             session.set_utility(now, self._utility_of(session))
             self._renegotiate(session, now)
+        if self.policy.partition_grace > 0 and session.state in (
+            SessionState.OPERATING, SessionState.DEGRADED
+        ):
+            self._probe_partitions(session, now)
         if session.state in (SessionState.OPERATING, SessionState.DEGRADED):
             self.engine.schedule(
                 self.policy.keepalive, lambda t, s=session: self._keepalive(s, t)
+            )
+
+    def _probe_partitions(self, session: Session, now: float) -> None:
+        """The reachability pass of one keepalive tick (partition grace).
+
+        An *alive but unreachable* member (a network partition severed
+        every route from the requester) is **suspended**, not lost: its
+        task stops streaming (utility 0), the session degrades, and the
+        member has ``policy.partition_grace`` seconds to become
+        reachable again. A healed partition lifts the suspension — and
+        once every task is live and unsuspended the session recovers in
+        place (``DEGRADED → OPERATING``, same awards, no renegotiation).
+        A suspension outliving the grace window is treated like a crash:
+        award released, reputation debited, task renegotiated.
+        """
+        coalition = session.coalition
+        assert coalition is not None
+        requester = session.service.requester
+        expired: List[str] = []
+        for task_id in sorted(session.live_tasks):
+            member = coalition.awards[task_id].node_id
+            if member == requester:
+                continue
+            if self.topology.shortest_route(requester, member) is None:
+                since = session.suspended.setdefault(task_id, now)
+                if now - since > self.policy.partition_grace:
+                    expired.append(task_id)
+            elif task_id in session.suspended:
+                del session.suspended[task_id]
+        if expired:
+            for task_id in expired:
+                award = coalition.awards[task_id]
+                release_award(self.providers, award, now, missing_ok=True)
+                if self.reputation is not None:
+                    self.reputation.record_failure(award.node_id)
+                session.live_tasks.discard(task_id)
+                session.suspended.pop(task_id, None)
+            self.engine.tracer.emit(
+                now, "session", "partition-expired",
+                session=session.service.name, tasks=len(expired),
+            )
+        if session.suspended or expired:
+            if session.state is SessionState.OPERATING:
+                session.transition(SessionState.DEGRADED, now)
+                self.engine.tracer.emit(
+                    now, "session", "degraded",
+                    session=session.service.name,
+                    suspended=len(session.suspended),
+                )
+            session.set_utility(now, self._utility_of(session))
+        if expired:
+            self._renegotiate(session, now)
+            return
+        if (
+            not session.suspended
+            and session.state is SessionState.DEGRADED
+            and len(session.live_tasks) == len(session.service.tasks)
+        ):
+            session.transition(SessionState.OPERATING, now)
+            session.set_utility(now, self._utility_of(session))
+            self.engine.tracer.emit(
+                now, "session", "recovered", session=session.service.name
             )
 
     def _renegotiate(self, session: Session, now: float) -> None:
@@ -266,7 +339,10 @@ class SessionDriver:
             commit=True,
             now=now,
             reputation=self.reputation,
+            faults=self.faults,
         )
+        session.award_retries += outcome.award_retries
+        session.retry_delay += outcome.retry_delay
         coalition = session.coalition
         assert coalition is not None
         if outcome.success:
@@ -275,7 +351,13 @@ class SessionDriver:
                 session.live_tasks.add(task_id)
             coalition.reconfigurations += 1
             session.renegotiations += 1
-            session.transition(SessionState.OPERATING, now)
+            # A session with members still suspended behind a partition
+            # is not whole: it lands back in DEGRADED and recovers only
+            # when the partition heals (or the grace expires).
+            if session.suspended:
+                session.transition(SessionState.DEGRADED, now)
+            else:
+                session.transition(SessionState.OPERATING, now)
             session.set_utility(now, self._utility_of(session))
             self.engine.tracer.emit(
                 now, "session", "renegotiated",
@@ -342,7 +424,12 @@ class SessionDriver:
             return 0.0
         total = 0.0
         for task in tasks:
-            if task.task_id in session.live_tasks:
+            # Suspended tasks (alive member, severed route) stream
+            # nothing while the partition lasts.
+            if (
+                task.task_id in session.live_tasks
+                and task.task_id not in session.suspended
+            ):
                 award = coalition.awards[task.task_id]
                 total += allocation_utility(task.request, award.distance)
         return total / len(tasks)

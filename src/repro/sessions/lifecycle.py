@@ -6,18 +6,23 @@ through admission, sustained operation, partial failure and in-place
 renegotiation before it dissolves. :class:`Session` tracks one request
 through that machine::
 
-    NEGOTIATING ──► OPERATING ──► CLOSED
-         │            │  ▲
-         ▼            ▼  │
-      DROPPED      DEGRADED ──► RENEGOTIATING ──► DROPPED
-         ▲            │  ▲            │
-         └────────────┘  └────────────┘
+    NEGOTIATING ──► OPERATING ◄──► DEGRADED ──► RENEGOTIATING
+         │            │    ▲          │   ▲            │
+         ▼            ▼    └──────────┼───┼────────────┤
+      DROPPED       CLOSED ◄──────────┘   └────────────┤
+         ▲                                             ▼
+         └──────────────(DEGRADED, RENEGOTIATING)── DROPPED
 
 * ``NEGOTIATING → OPERATING`` — admission succeeded (a complete
   coalition holds reservations); ``NEGOTIATING → DROPPED`` — admission
   was refused.
 * ``OPERATING → DEGRADED`` — a keepalive tick found a coalition member
-  dead (crash, drained battery); the orphaned tasks stream nothing.
+  dead (crash, drained battery) or unreachable behind a network
+  partition (within the policy's partition-grace window); the orphaned
+  tasks stream nothing.
+* ``DEGRADED → OPERATING`` — every suspended member became reachable
+  again before its grace expired (a healed partition): the session
+  recovers *in place*, same awards, no renegotiation.
 * ``DEGRADED → RENEGOTIATING`` — the organizer re-runs the Section 4.2
   protocol for the orphaned tasks against the *currently contended*
   cluster; ``RENEGOTIATING → OPERATING`` on success,
@@ -76,6 +81,7 @@ SESSION_TRANSITIONS: Dict[SessionState, Tuple[SessionState, ...]] = {
     SessionState.NEGOTIATING: (SessionState.OPERATING, SessionState.DROPPED),
     SessionState.OPERATING: (SessionState.DEGRADED, SessionState.CLOSED),
     SessionState.DEGRADED: (
+        SessionState.OPERATING,
         SessionState.RENEGOTIATING,
         SessionState.CLOSED,
         SessionState.DROPPED,
@@ -131,6 +137,15 @@ class Session:
         """Successful in-place renegotiations."""
         self.failed_renegotiations = 0
         """Failed renegotiation attempts (the bounded budget)."""
+        self.suspended: Dict[str, float] = {}
+        """Task id → when its (alive) member became unreachable behind a
+        partition; cleared when the member is reachable again. Only
+        populated when the policy's partition grace is enabled."""
+        self.award_retries = 0
+        """Award-handshake retransmissions across this session's
+        negotiation rounds (admission + renegotiations)."""
+        self.retry_delay = 0.0
+        """Total simulated backoff delay those retries spent."""
         self.ended_at: Optional[float] = None
         self._integral = 0.0
         self._mark = self.arrival

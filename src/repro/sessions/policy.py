@@ -57,6 +57,14 @@ class SessionPolicy:
             (random-waypoint motion with a topology rebuild per tick).
         mobility_speed: Maximum waypoint speed (m/s).
         mobility_tick: Seconds between mobility ticks.
+        partition_grace: Seconds a session tolerates an *alive but
+            unreachable* member (a network partition) before treating it
+            as lost. While any member is within grace the session is
+            ``DEGRADED``, not dropped; if the partition heals in time it
+            recovers in place (``DEGRADED → OPERATING``, same awards, no
+            renegotiation). ``0`` (the default) disables the grace
+            window entirely — reachability is never probed, preserving
+            the pre-fault keepalive path draw for draw.
     """
 
     operate: bool = False
@@ -68,6 +76,7 @@ class SessionPolicy:
     mobility: str = "static"
     mobility_speed: float = 4.0
     mobility_tick: float = 1.0
+    partition_grace: float = 0.0
 
     def __post_init__(self) -> None:
         if self.keepalive <= 0:
@@ -96,6 +105,10 @@ class SessionPolicy:
         if self.mobility_tick <= 0:
             raise ValueError(
                 f"mobility_tick must be positive, got {self.mobility_tick}"
+            )
+        if self.partition_grace < 0:
+            raise ValueError(
+                f"partition_grace must be >= 0, got {self.partition_grace}"
             )
 
     def replace(self, **changes) -> "SessionPolicy":

@@ -64,6 +64,8 @@ from repro.workloads.services import SERVICE_FAMILIES, build_service
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.experiments.config import ClusterConfig
+    from repro.faults.plan import FaultPlan
+    from repro.faults.report import ResilienceReport
 
 #: Feature switch (see :mod:`repro.features`): when ``False``, configs
 #: with ``sessions.operate=True`` fall back to the admission-only loop.
@@ -106,6 +108,13 @@ class ContentionConfig:
             (:data:`repro.experiments.config.FLEET_MIXES` key).
         sessions: The streaming-session lifecycle policy; its
             ``operate`` flag selects admission-only vs streaming mode.
+        faults: Optional declarative
+            :class:`~repro.faults.plan.FaultPlan` injected into
+            streaming runs (burst loss, partitions, crash hazards,
+            agent faults — see :mod:`repro.faults`). ``None`` or an
+            empty plan is the exact fault-free path, draw for draw;
+            the ``faults`` feature switch can disable a non-empty plan
+            globally. Ignored in admission-only mode.
     """
 
     n_requesters: int = 2
@@ -118,6 +127,7 @@ class ContentionConfig:
     requester_class: NodeClass = NodeClass.PHONE
     mix: str = "default"
     sessions: SessionPolicy = SessionPolicy()
+    faults: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         # Lazy: keep repro.workloads importable without the experiment layer.
@@ -190,6 +200,11 @@ class ContentionResult:
     n_requesters: int
     horizon: float
     sessions: List[SessionOutcome] = field(default_factory=list)
+    resilience: Optional["ResilienceReport"] = None
+    """Robustness accounting (streaming mode only; ``None`` in
+    admission-only runs). Surfaced separately from :meth:`metrics` so
+    the fixed metric row — and every committed benchmark built on it —
+    is untouched by fault injection."""
 
     def offered(self, requester: Optional[int] = None) -> int:
         """Session count, overall or for one requester."""
@@ -490,6 +505,25 @@ def _run_streaming(
     policy = config.sessions
     driver = driver_cls(topology, providers, policy, engine=Engine())
 
+    # Lazy: repro.faults is only pulled in when a run might use it.
+    from repro.faults.injector import make_injector
+    from repro.faults.report import ResilienceReport
+
+    # Fault injection (the one switch-snapshot gate lives inside
+    # make_injector): an absent/empty plan — or the 'faults' switch
+    # being off — yields None, and the run below is bit-identical to
+    # the pre-fault path; an injector wires partitions, crash hazards
+    # and brownouts onto the driver's engine from its own faults:*
+    # streams, so the fleet/arrival/failures draws are never perturbed.
+    injector = make_injector(
+        config.faults,
+        registry,
+        config.horizon,
+        protected=tuple(requester_id(k) for k in range(config.n_requesters)),
+    )
+    if injector is not None:
+        injector.install(driver)
+
     # Crash churn: one exponential time-to-crash per helper node, in
     # fleet order, from the run's own "failures" stream (independent of
     # the fleet/placement/arrival streams, so enabling churn never
@@ -523,7 +557,9 @@ def _run_streaming(
     driver.run()
 
     result = ContentionResult(
-        n_requesters=config.n_requesters, horizon=config.horizon
+        n_requesters=config.n_requesters,
+        horizon=config.horizon,
+        resilience=ResilienceReport.from_sessions(driver.sessions),
     )
     for (k, t, family), session in zip(submitted, driver.sessions):
         admission = session.admission

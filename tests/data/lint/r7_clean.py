@@ -1,0 +1,39 @@
+"""R7 fixture: bounded retries and non-retry loops (no findings)."""
+
+
+def pump(channel, src, dst, policy):
+    # for-range loops are bounded by construction.
+    for _ in range(policy.max_attempts):
+        latency = channel.transmit(src, dst, 1.0)
+        if latency is not None:
+            return latency
+    return None
+
+
+def careful(channel, src, dst, max_attempts):
+    # while-True with an explicit attempt budget is evidence enough.
+    attempts = 0
+    while True:
+        if channel.transmit(src, dst, 1.0) is not None:
+            return True
+        attempts += 1
+        if attempts >= max_attempts:
+            return False
+
+
+def conditioned(negotiate, service, topology, providers, budget):
+    # A real loop condition is its own bound.
+    while budget > 0:
+        outcome = negotiate(service, topology, providers)
+        if outcome.success:
+            return outcome
+        budget -= 1
+    return None
+
+
+def spin(jobs):
+    # while-True without a retry-ish call is not a retry loop.
+    while True:
+        if not jobs:
+            return
+        jobs.pop()

@@ -1,0 +1,15 @@
+"""R7 fixture: unbounded retry loops (both should flag)."""
+
+
+def pump(channel, src, dst):
+    while True:
+        latency = channel.transmit(src, dst, 1.0)
+        if latency is not None:
+            return latency
+
+
+def insist(negotiate, service, topology, providers):
+    while 1:
+        outcome = negotiate(service, topology, providers)
+        if outcome.success:
+            return outcome

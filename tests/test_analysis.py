@@ -34,6 +34,7 @@ from repro.analysis.rules import (
     BlanketExceptRule,
     EpochMutationRule,
     FeatureSnapshotRule,
+    UnboundedRetryRule,
     UnorderedIterationRule,
     UnseededRngRule,
     WallClockRule,
@@ -53,6 +54,7 @@ RULE_FIXTURES = {
     "r4": (BlanketExceptRule(), None),
     "r5": (FeatureSnapshotRule(), None),
     "r6": (EpochMutationRule(), None),
+    "r7": (UnboundedRetryRule(), None),
 }
 
 
@@ -131,6 +133,14 @@ def test_r6_flags_direct_and_aliased_stores():
         "MiniTopology.sneak_move",
         "MiniTopology.sneak_alias",
     }
+
+
+def test_r7_flags_each_unbounded_loop_and_names_the_call():
+    findings = run_rule(UnboundedRetryRule(), "r7_violation")
+    assert len(findings) == 2
+    assert {f.context for f in findings} == {"pump", "insist"}
+    assert any("transmit()" in f.message for f in findings)
+    assert any("negotiate()" in f.message for f in findings)
 
 
 # -- suppressions ------------------------------------------------------------
@@ -275,7 +285,9 @@ def test_json_report_schema():
         "version", "rules", "findings", "suppressed", "baselined",
         "stale_baseline", "summary",
     }
-    assert set(document["rules"]) == {"R1", "R2", "R3", "R4", "R5", "R6"}
+    assert set(document["rules"]) == {
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+    }
     for meta in document["rules"].values():
         assert set(meta) == {"name", "rationale"}
     for finding in document["findings"]:
@@ -331,7 +343,7 @@ def run_cli(*args: str):
 def test_cli_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
+    for rid in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
         assert rid in proc.stdout
 
 

@@ -11,6 +11,7 @@ import repro.workloads.contention as contention
 def test_registry_names_and_defaults():
     assert set(features.FEATURES) == {
         "batch-evaluation", "vector-topology", "session-driver", "shard",
+        "faults",
     }
     # Every fast path ships enabled.
     assert features.snapshot() == {
@@ -18,6 +19,7 @@ def test_registry_names_and_defaults():
         "vector-topology": True,
         "session-driver": True,
         "shard": True,
+        "faults": True,
     }
 
 

@@ -254,10 +254,10 @@ def test_scenario_replace_sweeps_fields():
 
 
 def test_new_suites_registered_everywhere():
-    for suite in ("E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"):
+    for suite in ("E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"):
         assert suite in SUITE_PLANS
         assert suite in ALL_SUITES
-    assert list(ALL_SUITES)[-1] == "E22"
+    assert list(ALL_SUITES)[-1] == "E23"
 
 
 def test_e17_new_families_need_coalitions():
@@ -303,8 +303,8 @@ def test_e16_plan_labels_are_rates():
 def test_cli_list_includes_new_suites_and_computed_span(capsys):
     assert cli_main(["--list"]) == 0
     out = capsys.readouterr().out
-    assert f"{len(ALL_SUITES)} suites (E1–E22):" in out
-    for suite in ("E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"):
+    assert f"{len(ALL_SUITES)} suites (E1–E23):" in out
+    for suite in ("E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"):
         assert suite in out
 
 
